@@ -1,0 +1,181 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Experiment regeneration — prints the table behind every evaluation
+      result of the paper (E1..E12; see DESIGN.md for the index). This is
+      the "regenerate every table and figure" harness: run
+        dune exec bench/main.exe              (full sweeps)
+        dune exec bench/main.exe -- quick     (small sweeps)
+        dune exec bench/main.exe -- quick e5  (one experiment)
+
+   2. Bechamel micro-benchmarks — one Test.make per experiment family
+      plus the substrate hot paths (event engine, CRC, codec, Viterbi,
+      channel model, full protocol sessions). Skipped when the first
+      argument is "tables"; run alone with "micro". *)
+
+open Bechamel
+open Toolkit
+
+(* --- micro-benchmark subjects ------------------------------------------- *)
+
+let bench_engine_events =
+  Test.make ~name:"sim: 10k scheduled events"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 0 to 9_999 do
+           ignore
+             (Sim.Engine.schedule e ~delay:(float_of_int (i land 63) *. 1e-6)
+                (fun () -> ())
+               : Sim.Engine.event_id)
+         done;
+         Sim.Engine.run e))
+
+let bench_rng =
+  let rng = Sim.Rng.create ~seed:1 in
+  Test.make ~name:"sim: 10k rng draws"
+    (Staged.stage (fun () ->
+         for _ = 1 to 10_000 do
+           ignore (Sim.Rng.unit_float rng : float)
+         done))
+
+let payload_1k = String.make 1024 'x'
+
+let bench_crc32 =
+  let b = Bytes.of_string payload_1k in
+  Test.make ~name:"frame: crc32 of 1 kB"
+    (Staged.stage (fun () -> ignore (Frame.Crc.crc32 b ~pos:0 ~len:1024 : int32)))
+
+let bench_codec_roundtrip =
+  let frame = Frame.Wire.Data (Frame.Iframe.create ~seq:7 ~payload:payload_1k) in
+  Test.make ~name:"frame: encode+decode 1 kB I-frame"
+    (Staged.stage (fun () ->
+         match Frame.Codec.decode (Frame.Codec.encode frame) with
+         | Ok _ -> ()
+         | Error _ -> assert false))
+
+let bench_viterbi =
+  let cc = Fec.Conv_code.default in
+  let src = Fec.Bitbuf.of_string (String.make 32 'v') in
+  let coded = Fec.Conv_code.encode cc src in
+  Test.make ~name:"fec: viterbi decode 256 bits"
+    (Staged.stage (fun () ->
+         ignore (Fec.Conv_code.decode cc coded ~data_bits:256 : Fec.Bitbuf.t)))
+
+let bench_ge_model =
+  let model =
+    Channel.Error_model.gilbert_elliott ~ber_good:1e-7 ~ber_bad:1e-3
+      ~mean_burst_bits:1e5 ~mean_gap_bits:1e6 ()
+  in
+  let rng = Sim.Rng.create ~seed:3 in
+  Test.make ~name:"channel: 1k Gilbert-Elliott frame fates"
+    (Staged.stage (fun () ->
+         for _ = 1 to 1_000 do
+           ignore
+             (Channel.Error_model.fate model rng ~header_bits:104
+                ~payload_bits:8192
+               : Channel.Error_model.fate)
+         done))
+
+let run_session protocol =
+  let cfg = { Experiments.Scenario.default with Experiments.Scenario.n_frames = 500 } in
+  ignore (Experiments.Scenario.run cfg protocol : Experiments.Scenario.result)
+
+let bench_lams_session =
+  Test.make ~name:"protocol: LAMS-DLC 500-frame session"
+    (Staged.stage (fun () ->
+         run_session
+           (Experiments.Scenario.Lams
+              (Experiments.Scenario.default_lams_params Experiments.Scenario.default))))
+
+let bench_hdlc_session =
+  Test.make ~name:"protocol: SR-HDLC 500-frame session"
+    (Staged.stage (fun () ->
+         run_session
+           (Experiments.Scenario.Hdlc
+              (Experiments.Scenario.default_hdlc_params Experiments.Scenario.default))))
+
+(* one Test.make per experiment table: the cost of regenerating it *)
+let bench_experiments =
+  List.map
+    (fun e ->
+      Test.make ~name:(Printf.sprintf "table %s" e.Experiments.All.id)
+        (Staged.stage (fun () ->
+             let buf = Buffer.create 4096 in
+             let ppf = Format.formatter_of_buffer buf in
+             e.Experiments.All.run ~quick:true ppf;
+             Format.pp_print_flush ppf ())))
+    Experiments.All.all
+
+let micro_tests =
+  [
+    bench_engine_events;
+    bench_rng;
+    bench_crc32;
+    bench_codec_roundtrip;
+    bench_viterbi;
+    bench_ge_model;
+    bench_lams_session;
+    bench_hdlc_session;
+  ]
+  @ bench_experiments
+
+(* --- bechamel driver ----------------------------------------------------- *)
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"lams-dlc" ~fmt:"%s %s" micro_tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* plain-text report: nanoseconds per run, by OLS estimate *)
+  Format.printf "@.=== micro-benchmarks (monotonic clock, ns/run) ===@.";
+  Hashtbl.iter
+    (fun _measure per_test ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test [] in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Format.printf "%-45s %12.1f@." name est
+          | Some [] | None -> Format.printf "%-45s %12s@." name "n/a")
+        rows)
+    results
+
+(* --- entry point --------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let micro_only = List.mem "micro" args in
+  let tables_only = List.mem "tables" args in
+  let ids =
+    List.filter (fun a -> not (List.mem a [ "quick"; "micro"; "tables" ])) args
+  in
+  if not micro_only then begin
+    Format.printf "=== experiment tables (paper evaluation reproduction) ===@.";
+    let selected =
+      if ids = [] then Experiments.All.all
+      else
+        List.filter_map
+          (fun id ->
+            match Experiments.All.find id with
+            | Some e -> Some e
+            | None ->
+                Format.eprintf "unknown experiment %S; skipping@." id;
+                None)
+          ids
+    in
+    List.iter (fun e -> e.Experiments.All.run ~quick Format.std_formatter) selected
+  end;
+  if not tables_only then run_micro ()

@@ -1,0 +1,183 @@
+(* Command-line front end for the reproduction experiments.
+
+   Usage:
+     lams_dlc_cli list
+     lams_dlc_cli run [e1 e5 ...] [--quick]
+     lams_dlc_cli run --all [--quick]           *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available experiments (paper-evaluation reproductions)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %s@." e.Experiments.All.id e.Experiments.All.name)
+      Experiments.All.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments and print their paper-vs-simulation tables." in
+  let ids =
+    let doc = "Experiment ids (e1 .. e12). Default: all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let quick =
+    let doc = "Smaller sweeps for a fast smoke run." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let all =
+    let doc = "Run every experiment (same as passing no ids)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let run ids quick all =
+    let selected =
+      if all || ids = [] then Experiments.All.all
+      else
+        List.map
+          (fun id ->
+            match Experiments.All.find id with
+            | Some e -> e
+            | None ->
+                Format.eprintf "unknown experiment %S (try 'list')@." id;
+                exit 2)
+          ids
+    in
+    List.iter
+      (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
+      selected
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ quick $ all)
+
+let sim_cmd =
+  let doc =
+    "Run a single ad-hoc scenario (protocol, link and channel from flags) \
+     and print its metrics."
+  in
+  let protocol =
+    let doc = "Protocol: lams, sr-hdlc, gbn-hdlc, sr-st, gbn-st, nbdt, \
+               nbdt-multiphase." in
+    Arg.(value & opt string "lams" & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let frames =
+    Arg.(value & opt int 2000 & info [ "n"; "frames" ] ~docv:"N"
+           ~doc:"Frames to transfer.")
+  in
+  let ber =
+    Arg.(value & opt float 1e-5 & info [ "ber" ] ~docv:"BER"
+           ~doc:"Channel bit error rate (I-frames).")
+  in
+  let cber =
+    Arg.(value & opt float 1e-8 & info [ "control-ber" ] ~docv:"BER"
+           ~doc:"Channel bit error rate for control frames (stronger FEC).")
+  in
+  let distance_km =
+    Arg.(value & opt float 4000. & info [ "distance" ] ~docv:"KM"
+           ~doc:"Link distance, kilometres.")
+  in
+  let rate_mbps =
+    Arg.(value & opt float 300. & info [ "rate" ] ~docv:"MBPS"
+           ~doc:"Line rate, Mbit/s.")
+  in
+  let payload =
+    Arg.(value & opt int 1024 & info [ "payload" ] ~docv:"BYTES"
+           ~doc:"I-frame payload size.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run protocol frames ber cber distance_km rate_mbps payload seed =
+    let cfg =
+      {
+        Experiments.Scenario.default with
+        Experiments.Scenario.seed;
+        n_frames = frames;
+        ber;
+        cframe_ber = cber;
+        distance_m = 1000. *. distance_km;
+        data_rate_bps = 1e6 *. rate_mbps;
+        payload_bytes = payload;
+      }
+    in
+    let hdlc mode stutter =
+      Experiments.Scenario.Hdlc
+        {
+          (Experiments.Scenario.default_hdlc_params cfg) with
+          Hdlc.Params.mode;
+          stutter;
+        }
+    in
+    let proto =
+      match String.lowercase_ascii protocol with
+      | "lams" ->
+          Some (Experiments.Scenario.Lams (Experiments.Scenario.default_lams_params cfg))
+      | "sr-hdlc" | "sr" -> Some (hdlc Hdlc.Params.Selective_repeat false)
+      | "gbn-hdlc" | "gbn" -> Some (hdlc Hdlc.Params.Go_back_n false)
+      | "sr-st" -> Some (hdlc Hdlc.Params.Selective_repeat true)
+      | "gbn-st" -> Some (hdlc Hdlc.Params.Go_back_n true)
+      | _ -> None
+    in
+    match proto with
+    | Some proto ->
+        let r = Experiments.Scenario.run cfg proto in
+        Format.printf "protocol: %s@." protocol;
+        Format.printf "%a@." Dlc.Metrics.pp r.Experiments.Scenario.metrics;
+        Format.printf
+          "elapsed: %.4f s   efficiency: %.4f   completed: %b   backlog: %d@."
+          r.Experiments.Scenario.elapsed r.Experiments.Scenario.efficiency
+          r.Experiments.Scenario.completed r.Experiments.Scenario.sender_backlog;
+        `Ok ()
+    | None -> (
+        (* NBDT runs outside Scenario (different param record) *)
+        match String.lowercase_ascii protocol with
+        | "nbdt" | "nbdt-continuous" | "nbdt-multiphase" ->
+            let engine = Sim.Engine.create () in
+            let duplex =
+              Channel.Duplex.create_static engine
+                ~rng:(Sim.Rng.create ~seed)
+                ~distance_m:cfg.Experiments.Scenario.distance_m
+                ~data_rate_bps:cfg.Experiments.Scenario.data_rate_bps
+                ~iframe_error:(Channel.Error_model.uniform ~ber ())
+                ~cframe_error:(Channel.Error_model.uniform ~ber:cber ())
+            in
+            let params =
+              if String.lowercase_ascii protocol = "nbdt-multiphase" then
+                { Nbdt.Params.default with Nbdt.Params.mode = Nbdt.Params.Multiphase }
+              else Nbdt.Params.default
+            in
+            let dlc = Nbdt.Session.as_dlc (Nbdt.Session.create engine ~params ~duplex) in
+            dlc.Dlc.Session.set_on_deliver (fun ~payload:_ -> ());
+            ignore
+              (Workload.Arrivals.saturating engine ~session:dlc ~count:frames
+                 ~payload:(Workload.Arrivals.default_payload ~size:payload)
+                : Workload.Arrivals.t);
+            let m = dlc.Dlc.Session.metrics in
+            let rec watch () =
+              if Dlc.Metrics.unique_delivered m >= frames then
+                dlc.Dlc.Session.stop ()
+              else if Sim.Engine.now engine < 120. then
+                ignore
+                  (Sim.Engine.schedule engine ~delay:1e-3 watch
+                    : Sim.Engine.event_id)
+            in
+            ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id);
+            Sim.Engine.run engine ~until:120.;
+            dlc.Dlc.Session.stop ();
+            Sim.Engine.run engine;
+            Format.printf "protocol: %s@.%a@." protocol Dlc.Metrics.pp
+              dlc.Dlc.Session.metrics;
+            `Ok ()
+        | other ->
+            `Error (false, Printf.sprintf "unknown protocol %S (try lams, sr-hdlc, gbn-hdlc, sr-st, gbn-st, nbdt, nbdt-multiphase)" other))
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      ret
+        (const run $ protocol $ frames $ ber $ cber $ distance_km $ rate_mbps
+       $ payload $ seed))
+
+let () =
+  let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in
+  let info = Cmd.info "lams_dlc_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sim_cmd ]))

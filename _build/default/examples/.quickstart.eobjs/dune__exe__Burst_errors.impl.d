@@ -1,0 +1,1 @@
+examples/burst_errors.ml: Channel Dlc Format Frame Hdlc Lams_dlc Sim Workload

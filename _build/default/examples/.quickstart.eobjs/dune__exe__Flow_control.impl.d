@@ -1,0 +1,1 @@
+examples/flow_control.ml: Channel Dlc Float Format Lams_dlc Sim Workload

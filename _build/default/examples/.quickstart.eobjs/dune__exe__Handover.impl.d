@@ -1,0 +1,1 @@
+examples/handover.ml: Channel Dlc Format Hashtbl Lams_dlc List Option Sim Workload

@@ -1,0 +1,1 @@
+examples/leo_constellation.ml: Channel Float Format Lams_dlc List Netstack Orbit Printf Sim String

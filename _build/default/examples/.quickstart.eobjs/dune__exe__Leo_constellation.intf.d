@@ -1,0 +1,1 @@
+examples/leo_constellation.mli:

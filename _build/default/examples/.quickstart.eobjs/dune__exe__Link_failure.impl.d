@@ -1,0 +1,1 @@
+examples/link_failure.ml: Channel Dlc Float Format Lams_dlc Sim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Channel Dlc Format Lams_dlc Sim String Workload

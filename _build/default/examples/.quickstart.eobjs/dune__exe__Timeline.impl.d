@@ -1,0 +1,1 @@
+examples/timeline.ml: Channel Dlc Format Lams_dlc Sim Workload

@@ -1,0 +1,62 @@
+(* LAMS-DLC vs SR-HDLC under laser-mispointing burst errors.
+
+   The channel alternates between a quiet state (BER 1e-7) and a
+   mispointing state (BER 1e-3) following a Gilbert-Elliott chain.
+   Cumulative NAKs let LAMS-DLC ride out bursts as long as
+   C_depth * W_cp exceeds the burst length (paper §3.3); SR-HDLC falls
+   back to timeout recovery.
+
+   Run with:  dune exec examples/burst_errors.exe *)
+
+let frame_bits = 8 * (1024 + Frame.Wire.iframe_overhead_bytes)
+
+let run_protocol ~name ~make_session =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:99 in
+  let burst_frames = 30. in
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m:4_000_000.
+      ~data_rate_bps:300e6
+      ~iframe_error:
+        (Channel.Error_model.gilbert_elliott ~ber_good:1e-7 ~ber_bad:1e-3
+           ~mean_burst_bits:(burst_frames *. float_of_int frame_bits)
+           ~mean_gap_bits:(10. *. burst_frames *. float_of_int frame_bits)
+           ())
+      ~cframe_error:(Channel.Error_model.uniform ~ber:1e-8 ())
+  in
+  let dlc = make_session engine duplex in
+  dlc.Dlc.Session.set_on_deliver (fun ~payload:_ -> ());
+  let n = 3000 in
+  for i = 0 to n - 1 do
+    ignore (dlc.Dlc.Session.offer (Workload.Arrivals.default_payload ~size:1024 i) : bool)
+  done;
+  Sim.Engine.run engine ~until:60.;
+  dlc.Dlc.Session.stop ();
+  Sim.Engine.run engine;
+  let m = dlc.Dlc.Session.metrics in
+  let t_f = float_of_int frame_bits /. 300e6 in
+  Format.printf
+    "%-8s delivered=%d loss=%d retx=%d enforced-recoveries=%d elapsed=%.3fs efficiency=%.3f@."
+    name
+    (Dlc.Metrics.unique_delivered m)
+    (Dlc.Metrics.loss m) m.Dlc.Metrics.retransmissions
+    m.Dlc.Metrics.enforced_recoveries (Dlc.Metrics.elapsed m)
+    (Dlc.Metrics.throughput_efficiency m ~iframe_time:t_f)
+
+let () =
+  Format.printf
+    "channel: Gilbert-Elliott, 30-frame mispointing bursts (BER 1e-3), 10x gaps (BER 1e-7)@.";
+  let lams_params = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 2e-3 } in
+  Format.printf "LAMS-DLC cumulative-NAK coverage: C_depth*W_cp = %.0f frame times@."
+    (Lams_dlc.Params.checkpoint_timeout lams_params
+    /. (float_of_int frame_bits /. 300e6));
+  run_protocol ~name:"lams" ~make_session:(fun engine duplex ->
+      Lams_dlc.Session.as_dlc
+        (Lams_dlc.Session.create engine ~params:lams_params ~duplex));
+  let rtt = 2. *. 4_000_000. /. Channel.Link.speed_of_light in
+  let hdlc_params = { Hdlc.Params.default with Hdlc.Params.t_out = 1.5 *. rtt } in
+  run_protocol ~name:"sr-hdlc" ~make_session:(fun engine duplex ->
+      Hdlc.Session.as_dlc (Hdlc.Session.create engine ~params:hdlc_params ~duplex));
+  Format.printf
+    "@.LAMS-DLC sustains zero loss through the bursts and needs no timeout tuning;@.\
+     SR-HDLC pays a window stall (or timeout) per burst.@."

@@ -1,0 +1,45 @@
+(* Frame-by-frame protocol timeline.
+
+   A tracer taps both directions of the link and renders the exchange as
+   the ladder diagram protocol papers draw: I-frames flowing right,
+   checkpoint commands flowing left, a corrupted frame, the cumulative
+   NAK that reports it, and the renumbered retransmission.
+
+   Run with:  dune exec examples/timeline.exe *)
+
+let () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:1234 in
+  (* short link and a harsh channel so the interesting events happen in
+     the first couple of milliseconds *)
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m:150_000.
+      ~data_rate_bps:100e6
+      ~iframe_error:(Channel.Error_model.uniform ~ber:2e-5 ())
+      ~cframe_error:Channel.Error_model.perfect
+  in
+  let tracer = Dlc.Tracer.create () in
+  Dlc.Tracer.attach tracer engine ~forward:duplex.Channel.Duplex.forward
+    ~reverse:duplex.Channel.Duplex.reverse;
+  let params =
+    { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 3e-4; c_depth = 3 }
+  in
+  let session = Lams_dlc.Session.create engine ~params ~duplex in
+  let dlc = Lams_dlc.Session.as_dlc session in
+  dlc.Dlc.Session.set_on_deliver (fun ~payload:_ -> ());
+  for i = 0 to 29 do
+    ignore (dlc.Dlc.Session.offer (Workload.Arrivals.default_payload ~size:1024 i) : bool)
+  done;
+  Sim.Engine.run engine ~until:0.05;
+  dlc.Dlc.Session.stop ();
+  Sim.Engine.run engine;
+  let m = dlc.Dlc.Session.metrics in
+  Format.printf
+    "30 frames over a 150 km / 100 Mbit/s link, BER 2e-5, W_cp = 0.3 ms:@.@.";
+  Dlc.Tracer.pp_timeline ~limit:100 Format.std_formatter tracer;
+  Format.printf
+    "@.delivered=%d retx=%d checkpoints=%d — look for a CORR I-frame, the@.\
+     CP(... naks=[n]) command that reports it (three times, cumulative),@.\
+     and the retransmission under a fresh sequence number.@."
+    (Dlc.Metrics.unique_delivered m)
+    m.Dlc.Metrics.retransmissions m.Dlc.Metrics.control_sent

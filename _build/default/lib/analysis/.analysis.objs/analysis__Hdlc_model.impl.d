@@ -1,0 +1,1 @@
+lib/analysis/hdlc_model.ml: Common

@@ -1,0 +1,1 @@
+lib/analysis/hdlc_model.mli: Common

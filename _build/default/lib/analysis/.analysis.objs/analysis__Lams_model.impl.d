@@ -1,0 +1,1 @@
+lib/analysis/lams_model.ml: Common Float List

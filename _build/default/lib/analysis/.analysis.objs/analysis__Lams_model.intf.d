@@ -1,0 +1,1 @@
+lib/analysis/lams_model.mli: Common

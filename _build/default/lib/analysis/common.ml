@@ -1,0 +1,43 @@
+type link = {
+  r : float;
+  t_f : float;
+  t_c : float;
+  t_proc : float;
+  p_f : float;
+  p_c : float;
+}
+
+let link ~r ~t_f ~t_c ~t_proc ~p_f ~p_c =
+  if r <= 0. then invalid_arg "Analysis.link: r must be > 0";
+  if t_f <= 0. then invalid_arg "Analysis.link: t_f must be > 0";
+  if t_c < 0. then invalid_arg "Analysis.link: t_c must be >= 0";
+  if t_proc < 0. then invalid_arg "Analysis.link: t_proc must be >= 0";
+  let check_p name p =
+    if not (p >= 0. && p < 1.) then
+      invalid_arg (Printf.sprintf "Analysis.link: %s must be in [0,1)" name)
+  in
+  check_p "p_f" p_f;
+  check_p "p_c" p_c;
+  { r; t_f; t_c; t_proc; p_f; p_c }
+
+let speed_of_light = 299_792_458.
+
+let p_any_error ~ber ~bits =
+  if ber <= 0. || bits <= 0 then 0.
+  else if ber >= 1. then 1.
+  else -.Float.expm1 (float_of_int bits *. Float.log1p (-.ber))
+
+let link_of_physical ~distance_m ~data_rate_bps ~iframe_bits ~cframe_bits
+    ~t_proc ~ber ~cframe_ber =
+  link
+    ~r:(2. *. distance_m /. speed_of_light)
+    ~t_f:(float_of_int iframe_bits /. data_rate_bps)
+    ~t_c:(float_of_int cframe_bits /. data_rate_bps)
+    ~t_proc
+    ~p_f:(p_any_error ~ber ~bits:iframe_bits)
+    ~p_c:(p_any_error ~ber:cframe_ber ~bits:cframe_bits)
+
+let geometric_mean_trials ~p =
+  if not (p >= 0. && p < 1.) then
+    invalid_arg "geometric_mean_trials: p must be in [0,1)";
+  1. /. (1. -. p)

@@ -1,0 +1,43 @@
+(** Shared quantities of the paper's §4 analysis.
+
+    Notation (paper §4):
+    - [r]        round-trip time R between the two nodes, seconds
+    - [t_f]      transmission (serialisation) time of an I-frame
+    - [t_c]      transmission time of a control command
+    - [t_proc]   processing time of a frame or command
+    - [p_f]      probability an I-frame is erroneous
+    - [p_c]      probability a control command is erroneous *)
+
+type link = {
+  r : float;
+  t_f : float;
+  t_c : float;
+  t_proc : float;
+  p_f : float;
+  p_c : float;
+}
+
+val link :
+  r:float -> t_f:float -> t_c:float -> t_proc:float -> p_f:float -> p_c:float ->
+  link
+(** Validates ranges: times nonnegative, [r], [t_f] positive,
+    probabilities in [0, 1). *)
+
+val link_of_physical :
+  distance_m:float ->
+  data_rate_bps:float ->
+  iframe_bits:int ->
+  cframe_bits:int ->
+  t_proc:float ->
+  ber:float ->
+  cframe_ber:float ->
+  link
+(** Derive the abstract link from physical parameters: [r] is twice the
+    light time, [p_f]/[p_c] are [1-(1-ber)^bits]. *)
+
+val p_any_error : ber:float -> bits:int -> float
+(** [1 - (1-ber)^bits], computed stably. *)
+
+val geometric_mean_trials : p:float -> float
+(** Mean of the geometric distribution [1/(1-p)] — the paper's [s̄] given
+    a per-round retransmission probability [p]. *)

@@ -1,0 +1,55 @@
+let p_r (l : Common.link) =
+  l.Common.p_f +. l.Common.p_c -. (l.Common.p_f *. l.Common.p_c)
+
+let s_bar l = Common.geometric_mean_trials ~p:(p_r l)
+
+let d_trans (l : Common.link) ~alpha ~w =
+  if w < 1 then invalid_arg "Hdlc_model.d_trans: window must be >= 1";
+  (float_of_int w *. l.Common.t_f)
+  +. ((1. -. l.Common.p_c)
+     *. (l.Common.r +. (2. *. l.Common.t_proc) +. l.Common.t_c))
+  +. (l.Common.p_c *. (l.Common.r +. alpha))
+
+let d_retrn (l : Common.link) ~alpha =
+  let p_fail = p_r l in
+  let d_resol = l.Common.r +. (2. *. l.Common.t_proc) +. l.Common.t_c in
+  let d_tout = l.Common.r +. alpha in
+  l.Common.t_f +. ((1. -. p_fail) *. d_resol) +. (p_fail *. d_tout)
+
+let d_low l ~alpha ~w = d_trans l ~alpha ~w +. ((s_bar l -. 1.) *. d_retrn l ~alpha)
+
+(* Per-window transmissions including retransmissions: the window's W
+   frames each need s̄ transmissions in expectation, but unlike LAMS-DLC
+   they cannot overlap with the next window — the resolve period closes
+   the window first. *)
+let n_win (l : Common.link) ~w = float_of_int w *. s_bar l
+
+let d_high l ~alpha ~w ~n =
+  if n < 0 then invalid_arg "Hdlc_model.d_high: negative n";
+  if n = 0 then 0.
+  else begin
+    let m = n / w and r_w = n mod w in
+    let full =
+      if m = 0 then 0.
+      else begin
+        (* windows cost D_low with the inflated frame count in place of W *)
+        let inflated = n_win l ~w in
+        let d_one =
+          (inflated *. l.Common.t_f)
+          +. ((1. -. l.Common.p_c)
+             *. (l.Common.r +. (2. *. l.Common.t_proc) +. l.Common.t_c))
+          +. (l.Common.p_c *. (l.Common.r +. alpha))
+          +. ((s_bar l -. 1.) *. d_retrn l ~alpha)
+        in
+        float_of_int m *. d_one
+      end
+    in
+    let rest = if r_w = 0 then 0. else d_low l ~alpha ~w:r_w in
+    full +. rest
+  end
+
+let throughput_efficiency l ~alpha ~w ~n =
+  if n <= 0 then 0.
+  else float_of_int n *. l.Common.t_f /. d_high l ~alpha ~w ~n
+
+let transparent_buffer () = infinity

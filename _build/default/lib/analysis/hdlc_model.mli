@@ -1,0 +1,38 @@
+(** Closed forms for SR-HDLC (paper §4).
+
+    The timeout is parameterised as [t_out = R + alpha] (the paper's
+    [alpha >= R_max - R] in a mobile network). *)
+
+val p_r : Common.link -> float
+(** Retransmission probability with positive + negative acknowledgement:
+    [P_F + P_C - P_F·P_C] (identical in transmission and retransmission
+    periods, §4). *)
+
+val s_bar : Common.link -> float
+(** [1 / (1 - P_R)]. *)
+
+val d_trans : Common.link -> alpha:float -> w:int -> float
+(** Transmission-period length for a window of [w] frames:
+    [W·t_f + (1-P_C)(R + 2·t_proc + t_c) + P_C·(R + alpha)]. *)
+
+val d_retrn : Common.link -> alpha:float -> float
+(** Retransmission-period length:
+    [t_f + R + alpha·(P_F + P_C - P_F·P_C) ... ] — resolve delay when the
+    period closes, timeout delay otherwise (§4). *)
+
+val d_low : Common.link -> alpha:float -> w:int -> float
+(** Mean total time for the safe delivery of one window:
+    [d_trans + (s̄-1)·d_retrn]. *)
+
+val d_high : Common.link -> alpha:float -> w:int -> n:int -> float
+(** High traffic, [n] frames through windows of [w]:
+    [m·D_low(W applied to N_win) + D_low(r_w)] with [m = floor(n/w)];
+    window inflation uses the per-window retransmission count. *)
+
+val throughput_efficiency :
+  Common.link -> alpha:float -> w:int -> n:int -> float
+(** [η_HDLC = N·t_f / D_high]. *)
+
+val transparent_buffer : unit -> float
+(** [infinity]: the paper shows SR-HDLC has no finite buffer size that
+    makes it transparent under saturation (§4). *)

@@ -1,0 +1,86 @@
+let p_r (l : Common.link) = l.Common.p_f
+
+let s_bar l = Common.geometric_mean_trials ~p:(p_r l)
+
+let n_cp_bar (l : Common.link) = Common.geometric_mean_trials ~p:l.Common.p_c
+
+let d_trans (l : Common.link) ~i_cp ~n =
+  if n < 0 then invalid_arg "Lams_model.d_trans: negative n";
+  (float_of_int n *. l.Common.t_f)
+  +. l.Common.t_c +. l.Common.t_proc +. l.Common.r
+  +. ((n_cp_bar l -. 0.5) *. i_cp)
+
+let d_retrn l ~i_cp = d_trans l ~i_cp ~n:1
+
+let d_low l ~i_cp ~n = d_trans l ~i_cp ~n +. ((s_bar l -. 1.) *. d_retrn l ~i_cp)
+
+let holding_time (l : Common.link) ~i_cp =
+  s_bar l
+  *. (l.Common.r +. l.Common.t_f +. l.Common.t_c +. l.Common.t_proc
+     +. ((n_cp_bar l -. 0.5) *. i_cp))
+
+let transparent_buffer (l : Common.link) ~i_cp =
+  (holding_time l ~i_cp /. l.Common.t_f) +. (l.Common.t_proc /. l.Common.t_f)
+
+let resolving_period (l : Common.link) ~i_cp ~c_depth =
+  if c_depth < 1 then invalid_arg "Lams_model.resolving_period: c_depth >= 1";
+  l.Common.r +. (0.5 *. i_cp) +. (float_of_int c_depth *. i_cp)
+
+let numbering_size (l : Common.link) ~i_cp ~c_depth =
+  resolving_period l ~i_cp ~c_depth /. l.Common.t_f
+
+(* High-traffic recursion (§4): the transmission period divides into
+   subperiods of h = H_frame/t_f frame slots. Each subperiod's slots are
+   shared between retransmissions of earlier subperiods' failures
+   (subperiod j's failures surface i-j subperiods later with weight
+   P_R^(i-j)) and new frames. After new frames run out, the remaining
+   retransmission load drains geometrically — the retransmission tail. *)
+let n_total (l : Common.link) ~i_cp ~n =
+  if n < 0 then invalid_arg "Lams_model.n_total: negative n";
+  let p = p_r l in
+  let nf = float_of_int n in
+  if p <= 0. then nf
+  else begin
+    let h = holding_time l ~i_cp /. l.Common.t_f in
+    if h < 1. then nf /. (1. -. p) (* degenerate: no overlap possible *)
+    else begin
+      let news = ref [] in
+      (* newest first *)
+      let total_new = ref 0. in
+      let total_tx = ref 0. in
+      let continue = ref true in
+      while !continue do
+        let retx_load =
+          List.fold_left
+            (fun (acc, w) nj -> (acc +. (nj *. w), w *. p))
+            (0., p) !news
+          |> fst
+        in
+        if !total_new >= nf then begin
+          (* tail: no new frames left, only the draining retransmissions *)
+          total_tx := !total_tx +. retx_load;
+          news := 0. :: !news;
+          if retx_load < 1e-9 then continue := false
+        end
+        else begin
+          let fresh = Float.min (Float.max 0. (h -. retx_load)) (nf -. !total_new) in
+          total_new := !total_new +. fresh;
+          total_tx := !total_tx +. fresh +. retx_load;
+          news := fresh :: !news
+        end
+      done;
+      !total_tx
+    end
+  end
+
+let d_high l ~i_cp ~n =
+  let total = n_total l ~i_cp ~n in
+  (* D_low over the inflated frame count: replace N·t_f with N_total·t_f *)
+  (total *. l.Common.t_f)
+  +. l.Common.t_c +. l.Common.t_proc +. l.Common.r
+  +. ((n_cp_bar l -. 0.5) *. i_cp)
+  +. ((s_bar l -. 1.) *. d_retrn l ~i_cp)
+
+let throughput_efficiency l ~i_cp ~n =
+  if n <= 0 then 0.
+  else float_of_int n *. l.Common.t_f /. d_high l ~i_cp ~n

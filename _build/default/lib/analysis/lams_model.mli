@@ -1,0 +1,55 @@
+(** Closed forms for LAMS-DLC (paper §4).
+
+    All functions take the abstract {!Common.link} plus the protocol's
+    checkpoint interval [i_cp] (the paper's {i I_cp} = {i W_cp}) and,
+    where relevant, the cumulation depth. *)
+
+val p_r : Common.link -> float
+(** Retransmission probability: NAK-only, so [P_R = P_F]. *)
+
+val s_bar : Common.link -> float
+(** Mean number of periods for successful delivery:
+    [s̄ = 1 / (1 - P_F)]. *)
+
+val n_cp_bar : Common.link -> float
+(** Mean checkpoints needed to acknowledge a frame:
+    [n̄_cp = 1 / (1 - P_C)]. *)
+
+val d_trans : Common.link -> i_cp:float -> n:int -> float
+(** Transmission-period length for [n] new frames:
+    [N·t_f + t_c + t_proc + R + (n̄_cp - 1/2)·I_cp]. *)
+
+val d_retrn : Common.link -> i_cp:float -> float
+(** Retransmission-period length: [d_trans] with one frame. *)
+
+val d_low : Common.link -> i_cp:float -> n:int -> float
+(** Mean total time for the safe delivery of [n] frames in low traffic:
+    [d_trans n + (s̄ - 1) · d_retrn]. *)
+
+val holding_time : Common.link -> i_cp:float -> float
+(** Mean sending-buffer holding time of a frame:
+    [H = s̄ · (R + t_f + t_c + t_proc + (n̄_cp - 1/2)·I_cp)]. *)
+
+val transparent_buffer : Common.link -> i_cp:float -> float
+(** [B_LAMS = H/t_f + t_proc/t_f] — the sending-buffer size (frames)
+    above which the protocol never blocks (§4). *)
+
+val resolving_period : Common.link -> i_cp:float -> c_depth:int -> float
+(** Bound on a frame's unresolved lifetime:
+    [R + I_cp/2 + C_depth·I_cp] (§3.3). *)
+
+val numbering_size : Common.link -> i_cp:float -> c_depth:int -> float
+(** Sequence numbers needed for continuous operation:
+    [resolving_period / t_f] (§2.3/§3.3). *)
+
+val n_total : Common.link -> i_cp:float -> n:int -> float
+(** High-traffic total transmissions (news + retransmissions) for [n] new
+    frames — the paper's [N_total(N)] recursion over holding-time
+    subperiods. *)
+
+val d_high : Common.link -> i_cp:float -> n:int -> float
+(** High-traffic total time: [D_low] evaluated on [N_total] frames. *)
+
+val throughput_efficiency : Common.link -> i_cp:float -> n:int -> float
+(** [η_LAMS = N · t_f / D_high(N)] — fraction of the channel spent on
+    useful first-copy payload. *)

@@ -1,0 +1,1 @@
+lib/channel/coded_path.ml: Bytes Char Error_model Fec Frame Link List Sim

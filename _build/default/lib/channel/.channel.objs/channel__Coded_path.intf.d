@@ -1,0 +1,1 @@
+lib/channel/coded_path.mli: Error_model Fec Frame Link Sim

@@ -1,0 +1,1 @@
+lib/channel/duplex.ml: Error_model Link Sim

@@ -1,0 +1,1 @@
+lib/channel/duplex.mli: Error_model Link Sim

@@ -1,0 +1,1 @@
+lib/channel/error_model.ml: Float Hashtbl List Printf Sim

@@ -1,0 +1,1 @@
+lib/channel/error_model.mli: Sim

@@ -1,0 +1,1 @@
+lib/channel/link.ml: Error_model Float Frame Queue Sim String

@@ -1,0 +1,1 @@
+lib/channel/link.mli: Error_model Frame Sim

@@ -1,0 +1,67 @@
+type t = {
+  rng : Sim.Rng.t;
+  iframe_code : Fec.Code.t;
+  cframe_code : Fec.Code.t;
+  error_model : Error_model.t;
+}
+
+type outcome = {
+  status : Link.status;
+  bit_errors : int;
+  residual_errors : int;
+}
+
+let create ~rng ~iframe_code ~cframe_code ~error_model =
+  { rng; iframe_code; cframe_code; error_model }
+
+let code_for t frame =
+  if Frame.Wire.is_control frame then t.cframe_code else t.iframe_code
+
+let coded_bits t frame =
+  let code = code_for t frame in
+  code.Fec.Code.coded_bits ~data_bits:(8 * Frame.Wire.size_bytes frame)
+
+let transmit t frame =
+  let code = code_for t frame in
+  let clean_bytes = Frame.Codec.encode frame in
+  let data_bits = 8 * Bytes.length clean_bytes in
+  let clean_coded = code.Fec.Code.encode (Fec.Bitbuf.of_string (Bytes.to_string clean_bytes)) in
+  let n = Fec.Bitbuf.length clean_coded in
+  let flips = Error_model.error_positions t.error_model t.rng ~bits:n in
+  List.iter
+    (fun pos -> Fec.Bitbuf.set clean_coded pos (not (Fec.Bitbuf.get clean_coded pos)))
+    flips;
+  let decoded_bits = code.Fec.Code.decode clean_coded ~data_bits in
+  let rx_bytes = Bytes.of_string (Fec.Bitbuf.to_string decoded_bits) in
+  let rx_bytes = Bytes.sub rx_bytes 0 (Bytes.length clean_bytes) in
+  let residual_errors =
+    let d = ref 0 in
+    Bytes.iteri
+      (fun i c ->
+        let a = Char.code c and b = Char.code (Bytes.get clean_bytes i) in
+        let x = a lxor b in
+        for bit = 0 to 7 do
+          if x land (1 lsl bit) <> 0 then incr d
+        done)
+      rx_bytes;
+    !d
+  in
+  let bit_errors = List.length flips in
+  match Frame.Codec.decode rx_bytes with
+  | Ok decoded ->
+      ({ status = Link.Rx_ok; bit_errors; residual_errors }, Some decoded)
+  | Error (Frame.Codec.Payload_corrupt { seq }) ->
+      (* header readable: the receiver can identify (and NAK) the frame *)
+      ( { status = Link.Rx_payload_corrupt; bit_errors; residual_errors },
+        Some (Frame.Wire.Data (Frame.Iframe.create ~seq ~payload:"")) )
+  | Error _ ->
+      ({ status = Link.Rx_header_corrupt; bit_errors; residual_errors }, None)
+
+let residual_fer t frame ~trials =
+  if trials <= 0 then invalid_arg "Coded_path.residual_fer: trials must be > 0";
+  let bad = ref 0 in
+  for _ = 1 to trials do
+    let outcome, _ = transmit t frame in
+    if outcome.status <> Link.Rx_ok then incr bad
+  done;
+  float_of_int !bad /. float_of_int trials

@@ -1,0 +1,216 @@
+type fate = Clean | Corrupt of { header : bool } | Lost
+
+type ge_state = Good | Bad
+
+type ge = {
+  ber_good : float;
+  ber_bad : float;
+  p_leave_bad : float;  (* per-bit probability of leaving Bad *)
+  p_leave_good : float;
+  frame_loss : float;
+  mutable state : ge_state;
+}
+
+type kind =
+  | Perfect
+  | Uniform of { ber : float; frame_loss : float }
+  | Ge of ge
+
+type t = kind
+
+let perfect = Perfect
+
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Error_model: %s must be in [0,1]" name)
+
+let uniform ?(frame_loss = 0.) ~ber () =
+  check_prob "ber" ber;
+  check_prob "frame_loss" frame_loss;
+  Uniform { ber; frame_loss }
+
+let gilbert_elliott ?(frame_loss = 0.) ~ber_good ~ber_bad ~mean_burst_bits
+    ~mean_gap_bits () =
+  check_prob "ber_good" ber_good;
+  check_prob "ber_bad" ber_bad;
+  check_prob "frame_loss" frame_loss;
+  if mean_burst_bits < 1. || mean_gap_bits < 1. then
+    invalid_arg "Error_model.gilbert_elliott: mean sojourns must be >= 1 bit";
+  Ge
+    {
+      ber_good;
+      ber_bad;
+      p_leave_bad = 1. /. mean_burst_bits;
+      p_leave_good = 1. /. mean_gap_bits;
+      frame_loss;
+      state = Good;
+    }
+
+(* P[at least one error in n bits at rate ber] without float underflow:
+   1 - (1-ber)^n computed via expm1/log1p. *)
+let p_any_error ~ber ~bits =
+  if ber <= 0. || bits <= 0 then 0.
+  else if ber >= 1. then 1.
+  else -.Float.expm1 (float_of_int bits *. Float.log1p (-.ber))
+
+(* Walk a Gilbert-Elliott chain across [bits] bits; return whether any
+   bit error occurred. Sojourn lengths are geometric, so we jump from
+   state change to state change instead of stepping per bit. *)
+let ge_any_error g rng ~bits =
+  let errored = ref false in
+  let remaining = ref bits in
+  while !remaining > 0 do
+    let p_leave, ber =
+      match g.state with
+      | Good -> (g.p_leave_good, g.ber_good)
+      | Bad -> (g.p_leave_bad, g.ber_bad)
+    in
+    let sojourn =
+      if p_leave <= 0. then !remaining
+      else Sim.Rng.geometric rng ~p:p_leave
+    in
+    let here = min sojourn !remaining in
+    if (not !errored) && Sim.Rng.bernoulli rng ~p:(p_any_error ~ber ~bits:here)
+    then errored := true;
+    remaining := !remaining - here;
+    if sojourn <= here && !remaining >= 0 && p_leave > 0. then
+      g.state <- (match g.state with Good -> Bad | Bad -> Good)
+  done;
+  !errored
+
+(* Advance the chain across [bits] bit-times without sampling errors:
+   hop from sojourn end to sojourn end. *)
+let ge_advance g rng ~bits =
+  let remaining = ref bits in
+  while !remaining > 0 do
+    let p_leave =
+      match g.state with Good -> g.p_leave_good | Bad -> g.p_leave_bad
+    in
+    if p_leave <= 0. then remaining := 0
+    else begin
+      let sojourn = Sim.Rng.geometric rng ~p:p_leave in
+      if sojourn <= !remaining then begin
+        g.state <- (match g.state with Good -> Bad | Bad -> Good);
+        remaining := !remaining - sojourn
+      end
+      else remaining := 0
+    end
+  done
+
+let advance t rng ~bits =
+  match t with
+  | Perfect | Uniform _ -> ()
+  | Ge g -> if bits > 0 then ge_advance g rng ~bits
+
+let fate t rng ~header_bits ~payload_bits =
+  match t with
+  | Perfect -> Clean
+  | Uniform { ber; frame_loss } ->
+      if frame_loss > 0. && Sim.Rng.bernoulli rng ~p:frame_loss then Lost
+      else begin
+        let header_bad =
+          Sim.Rng.bernoulli rng ~p:(p_any_error ~ber ~bits:header_bits)
+        in
+        let payload_bad =
+          Sim.Rng.bernoulli rng ~p:(p_any_error ~ber ~bits:payload_bits)
+        in
+        if header_bad then Corrupt { header = true }
+        else if payload_bad then Corrupt { header = false }
+        else Clean
+      end
+  | Ge g ->
+      if g.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:g.frame_loss then begin
+        (* still advance the chain so losses do not freeze burst state *)
+        ignore (ge_any_error g rng ~bits:(header_bits + payload_bits) : bool);
+        Lost
+      end
+      else begin
+        let header_bad = ge_any_error g rng ~bits:header_bits in
+        let payload_bad = ge_any_error g rng ~bits:payload_bits in
+        if header_bad then Corrupt { header = true }
+        else if payload_bad then Corrupt { header = false }
+        else Clean
+      end
+
+(* Uniform errors in [offset, offset+len): sample a binomial count, then
+   distinct positions. For simulation-scale error counts (a handful per
+   frame) rejection sampling of distinct positions is cheap. *)
+let uniform_positions rng ~ber ~offset ~len acc =
+  if ber <= 0. || len <= 0 then acc
+  else begin
+    let count = Sim.Rng.binomial rng ~n:len ~p:ber in
+    let seen = Hashtbl.create (max 16 count) in
+    let rec draw k acc =
+      if k = 0 then acc
+      else begin
+        let pos = offset + Sim.Rng.int rng len in
+        if Hashtbl.mem seen pos then draw k acc
+        else begin
+          Hashtbl.add seen pos ();
+          draw (k - 1) (pos :: acc)
+        end
+      end
+    in
+    draw count acc
+  end
+
+let error_positions t rng ~bits =
+  let acc =
+    match t with
+    | Perfect -> []
+    | Uniform { ber; _ } -> uniform_positions rng ~ber ~offset:0 ~len:bits []
+    | Ge g ->
+        (* walk sojourns, sampling uniformly within each segment *)
+        let acc = ref [] in
+        let pos = ref 0 in
+        while !pos < bits do
+          let p_leave, ber =
+            match g.state with
+            | Good -> (g.p_leave_good, g.ber_good)
+            | Bad -> (g.p_leave_bad, g.ber_bad)
+          in
+          let sojourn =
+            if p_leave <= 0. then bits - !pos else Sim.Rng.geometric rng ~p:p_leave
+          in
+          let here = min sojourn (bits - !pos) in
+          acc := uniform_positions rng ~ber ~offset:!pos ~len:here !acc;
+          pos := !pos + here;
+          if sojourn <= here && p_leave > 0. then
+            g.state <- (match g.state with Good -> Bad | Bad -> Good)
+        done;
+        !acc
+  in
+  List.sort_uniq compare acc
+
+let frame_error_prob t ~bits =
+  match t with
+  | Perfect -> 0.
+  | Uniform { ber; frame_loss } ->
+      let p_err = p_any_error ~ber ~bits in
+      frame_loss +. ((1. -. frame_loss) *. p_err)
+  | Ge g ->
+      (* stationary distribution of the two-state chain *)
+      let pi_bad = g.p_leave_good /. (g.p_leave_good +. g.p_leave_bad) in
+      let ber = (pi_bad *. g.ber_bad) +. ((1. -. pi_bad) *. g.ber_good) in
+      let p_err = p_any_error ~ber ~bits in
+      g.frame_loss +. ((1. -. g.frame_loss) *. p_err)
+
+let ber_for_frame_error_prob ~bits ~fer =
+  if bits <= 0 then invalid_arg "ber_for_frame_error_prob: bits must be > 0";
+  if not (fer >= 0. && fer < 1.) then
+    invalid_arg "ber_for_frame_error_prob: fer must be in [0,1)";
+  (* fer = 1 - (1-ber)^bits  =>  ber = 1 - (1-fer)^(1/bits) *)
+  -.Float.expm1 (Float.log1p (-.fer) /. float_of_int bits)
+
+let copy = function
+  | Perfect -> Perfect
+  | Uniform u -> Uniform u
+  | Ge g -> Ge { g with state = g.state }
+
+let describe = function
+  | Perfect -> "perfect"
+  | Uniform { ber; frame_loss } ->
+      Printf.sprintf "uniform(ber=%g, loss=%g)" ber frame_loss
+  | Ge g ->
+      Printf.sprintf "gilbert-elliott(good=%g, bad=%g, burst=%.0fb, gap=%.0fb)"
+        g.ber_good g.ber_bad (1. /. g.p_leave_bad) (1. /. g.p_leave_good)

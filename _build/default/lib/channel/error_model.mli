@@ -1,0 +1,74 @@
+(** Stochastic bit-error processes for the laser link.
+
+    Two channel regimes from paper §2.1: {b random errors} from optical
+    noise (uniform BER) and {b burst errors} from beam mispointing and
+    tracking loss (Gilbert–Elliott two-state chain). The simulator is
+    frame-oriented: a model is asked once per frame for the frame's fate,
+    advancing its internal state by the frame's bit count. The chain is
+    bit-clocked — state evolves with bits serialised on the link — which
+    matches how interleaving analysis treats burst spans.
+
+    A frame's fate distinguishes header and payload damage because the
+    receiver can still identify (and therefore NAK) a frame whose header
+    survived; a destroyed header makes the frame unidentifiable and it is
+    recovered via gap detection. [Lost] models sync loss: nothing arrives
+    at all. *)
+
+type fate =
+  | Clean
+  | Corrupt of { header : bool }
+      (** damaged; [header = true] when the header itself is unreadable *)
+  | Lost  (** frame vanishes without trace *)
+
+type t
+
+val perfect : t
+(** Never corrupts. *)
+
+val uniform : ?frame_loss:float -> ber:float -> unit -> t
+(** Independent bit errors at rate [ber]; additionally each frame is
+    wholly lost with probability [frame_loss] (default 0). *)
+
+val gilbert_elliott :
+  ?frame_loss:float ->
+  ber_good:float ->
+  ber_bad:float ->
+  mean_burst_bits:float ->
+  mean_gap_bits:float ->
+  unit ->
+  t
+(** Two-state chain: the {e bad} (mispointing) state has BER [ber_bad]
+    and mean sojourn [mean_burst_bits]; the {e good} state has
+    [ber_good] and mean sojourn [mean_gap_bits]. Sojourns are geometric
+    (memoryless per bit). *)
+
+val fate : t -> Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate
+(** Draw the fate of one frame and advance burst state by
+    [header_bits + payload_bits]. *)
+
+val advance : t -> Sim.Rng.t -> bits:int -> unit
+(** Advance the burst-state chain as if [bits] bit-times passed with
+    nothing transmitted. Mispointing is a wall-clock process: the link
+    layer calls this for idle gaps so that a stalled sender can outwait a
+    burst. No-op for memoryless models. *)
+
+val error_positions : t -> Sim.Rng.t -> bits:int -> int list
+(** Exact bit-level sampling: the positions (ascending, in [0, bits))
+    where the channel flips a bit, advancing burst state by [bits]. Used
+    by the bit-level coded path ({!Coded_path}) where frames are really
+    serialised, FEC-encoded and damaged bit by bit. [Lost] outcomes do
+    not occur at this level (frame loss is a frame-scale abstraction). *)
+
+val frame_error_prob : t -> bits:int -> float
+(** Analytic frame-error probability (any bit error or loss) for a frame
+    of [bits] bits. Exact for [perfect] and [uniform]; for
+    Gilbert–Elliott it is the stationary-state approximation. *)
+
+val ber_for_frame_error_prob : bits:int -> fer:float -> float
+(** Inverse of the uniform model's FER: the BER that gives frame error
+    probability [fer] at the given frame size. *)
+
+val copy : t -> t
+(** Independent copy with the same parameters and current state. *)
+
+val describe : t -> string

@@ -1,0 +1,189 @@
+type status = Rx_ok | Rx_payload_corrupt | Rx_header_corrupt
+
+type rx = { frame : Frame.Wire.t; status : status; t_sent : float }
+
+type stats = {
+  mutable frames_sent : int;
+  mutable bits_sent : int;
+  mutable frames_delivered : int;
+  mutable frames_corrupted : int;
+  mutable frames_lost : int;
+}
+
+type tap_event =
+  | Tap_tx of Frame.Wire.t
+  | Tap_rx of rx
+  | Tap_lost of Frame.Wire.t
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  distance_m : float -> float;
+  data_rate_bps : float;
+  iframe_error : Error_model.t;
+  cframe_error : Error_model.t;
+  mutable receiver : (rx -> unit) option;
+  mutable tap : (tap_event -> unit) option;
+  mutable on_idle : (unit -> unit) option;
+  mutable transmitting : bool;
+  queue : Frame.Wire.t Queue.t;
+  mutable last_arrival : float;
+  mutable last_fate_at : float;  (* burst chains advance over idle time *)
+  mutable up : bool;
+  stats : stats;
+}
+
+let speed_of_light = 299_792_458.
+
+let create engine ~rng ~distance_m ~data_rate_bps ~iframe_error ~cframe_error =
+  if data_rate_bps <= 0. then invalid_arg "Link.create: data rate must be > 0";
+  {
+    engine;
+    rng;
+    distance_m;
+    data_rate_bps;
+    iframe_error;
+    cframe_error;
+    receiver = None;
+    tap = None;
+    on_idle = None;
+    transmitting = false;
+    queue = Queue.create ();
+    last_arrival = 0.;
+    last_fate_at = 0.;
+    up = true;
+    stats =
+      {
+        frames_sent = 0;
+        bits_sent = 0;
+        frames_delivered = 0;
+        frames_corrupted = 0;
+        frames_lost = 0;
+      };
+  }
+
+let create_static engine ~rng ~distance_m ~data_rate_bps ~iframe_error
+    ~cframe_error =
+  if distance_m < 0. then invalid_arg "Link.create_static: negative distance";
+  create engine ~rng
+    ~distance_m:(fun _ -> distance_m)
+    ~data_rate_bps ~iframe_error ~cframe_error
+
+let set_receiver t f = t.receiver <- Some f
+
+let set_tap t f = t.tap <- Some f
+
+let tap t ev = match t.tap with None -> () | Some f -> f ev
+
+let set_on_idle t f = t.on_idle <- Some f
+
+let busy t = t.transmitting || not (Queue.is_empty t.queue)
+
+let queue_length t = Queue.length t.queue
+
+let tx_time t frame = float_of_int (Frame.Wire.size_bits frame) /. t.data_rate_bps
+
+let propagation_delay t ~at =
+  let d = t.distance_m at in
+  if d < 0. then invalid_arg "Link: negative distance";
+  d /. speed_of_light
+
+let is_up t = t.up
+
+let set_up t = t.up <- true
+
+let set_down t = t.up <- false
+
+(* Split a frame's bits into header vs payload for the error model: for
+   I-frames the header is the overhead portion; control frames are all
+   header (any damage makes them undecodable). *)
+let bit_split frame =
+  match frame with
+  | Frame.Wire.Data i ->
+      ( 8 * Frame.Wire.iframe_overhead_bytes,
+        8 * String.length i.Frame.Iframe.payload )
+  | Frame.Wire.Control _ | Frame.Wire.Hdlc_control _ ->
+      (Frame.Wire.size_bits frame, 0)
+
+let error_model t frame =
+  if Frame.Wire.is_control frame then t.cframe_error else t.iframe_error
+
+let deliver t frame ~t_sent =
+  if not t.up then begin
+    t.stats.frames_lost <- t.stats.frames_lost + 1;
+    tap t (Tap_lost frame)
+  end
+  else begin
+    let header_bits, payload_bits = bit_split frame in
+    (* burst state evolved during any idle gap since the last frame *)
+    let now = Sim.Engine.now t.engine in
+    let span_bits = (now -. t.last_fate_at) *. t.data_rate_bps in
+    let idle_bits =
+      int_of_float (Float.max 0. (span_bits -. float_of_int (header_bits + payload_bits)))
+    in
+    t.last_fate_at <- now;
+    let model = error_model t frame in
+    Error_model.advance model t.rng ~bits:idle_bits;
+    let fate = Error_model.fate model t.rng ~header_bits ~payload_bits in
+    match fate with
+    | Error_model.Lost ->
+        t.stats.frames_lost <- t.stats.frames_lost + 1;
+        tap t (Tap_lost frame)
+    | Error_model.Clean | Error_model.Corrupt _ -> (
+        let status =
+          match fate with
+          | Error_model.Clean -> Rx_ok
+          | Error_model.Corrupt { header = true } -> Rx_header_corrupt
+          | Error_model.Corrupt { header = false } -> Rx_payload_corrupt
+          | Error_model.Lost -> assert false
+        in
+        if status <> Rx_ok then
+          t.stats.frames_corrupted <- t.stats.frames_corrupted + 1;
+        match t.receiver with
+        | None ->
+            t.stats.frames_lost <- t.stats.frames_lost + 1;
+            tap t (Tap_lost frame)
+        | Some f ->
+            t.stats.frames_delivered <- t.stats.frames_delivered + 1;
+            let rx = { frame; status; t_sent } in
+            tap t (Tap_rx rx);
+            f rx)
+  end
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> (
+      t.transmitting <- false;
+      match t.on_idle with None -> () | Some f -> f ())
+  | Some frame ->
+      t.transmitting <- true;
+      let serialisation = tx_time t frame in
+      let t_sent = Sim.Engine.now t.engine in
+      t.stats.frames_sent <- t.stats.frames_sent + 1;
+      t.stats.bits_sent <- t.stats.bits_sent + Frame.Wire.size_bits frame;
+      tap t (Tap_tx frame);
+      let departure = t_sent +. serialisation in
+      let lost_in_outage = not t.up in
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:serialisation (fun () ->
+             let arrival = departure +. propagation_delay t ~at:departure in
+             (* FIFO clamp: arrivals never reorder. *)
+             let arrival = Float.max arrival t.last_arrival in
+             t.last_arrival <- arrival;
+             if lost_in_outage then begin
+               t.stats.frames_lost <- t.stats.frames_lost + 1;
+               tap t (Tap_lost frame)
+             end
+             else
+               ignore
+                 (Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
+                      deliver t frame ~t_sent)
+                   : Sim.Engine.event_id);
+             start_next t)
+          : Sim.Engine.event_id)
+
+let send t frame =
+  Queue.add frame t.queue;
+  if not t.transmitting then start_next t
+
+let stats t = t.stats

@@ -1,0 +1,1 @@
+lib/dlc/metrics.ml: Float Format Stats

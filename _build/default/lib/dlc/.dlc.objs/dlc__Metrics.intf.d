@@ -1,0 +1,1 @@
+lib/dlc/metrics.mli: Format Stats

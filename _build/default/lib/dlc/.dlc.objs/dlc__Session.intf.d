@@ -1,0 +1,1 @@
+lib/dlc/session.mli: Metrics

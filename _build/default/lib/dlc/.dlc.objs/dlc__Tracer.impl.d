@@ -1,0 +1,1 @@
+lib/dlc/tracer.ml: Array Channel Format Frame List Printf Sim

@@ -1,0 +1,1 @@
+lib/dlc/tracer.mli: Channel Format Sim

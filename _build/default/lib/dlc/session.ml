@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  offer : string -> bool;
+  set_on_deliver : (payload:string -> unit) -> unit;
+  sender_backlog : unit -> int;
+  stop : unit -> unit;
+  metrics : Metrics.t;
+}

@@ -1,0 +1,1 @@
+lib/experiments/e10_ntotal.ml: Analysis Dlc Lams_dlc List Report Scenario Stats

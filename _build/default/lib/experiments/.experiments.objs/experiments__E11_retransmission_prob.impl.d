@@ -1,0 +1,1 @@
+lib/experiments/e11_retransmission_prob.ml: Analysis Channel Dlc List Printf Report Scenario Stats

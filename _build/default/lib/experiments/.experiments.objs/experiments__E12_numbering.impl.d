@@ -1,0 +1,1 @@
+lib/experiments/e12_numbering.ml: Analysis Lams_dlc List Printf Report Scenario Stats

@@ -1,0 +1,1 @@
+lib/experiments/e13_arq_variants.ml: Dlc Hdlc List Printf Report Scenario Stats

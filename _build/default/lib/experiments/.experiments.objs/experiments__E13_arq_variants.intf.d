@@ -1,0 +1,1 @@
+lib/experiments/e13_arq_variants.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e14_window_scaling.ml: Dlc Format Hdlc List Printf Report Scenario Stats

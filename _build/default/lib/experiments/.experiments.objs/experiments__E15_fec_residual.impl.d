@@ -1,0 +1,1 @@
+lib/experiments/e15_fec_residual.ml: Channel Fec Format Frame List Printf Report Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/e15_fec_residual.mli: Format

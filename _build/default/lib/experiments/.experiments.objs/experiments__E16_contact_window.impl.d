@@ -1,0 +1,1 @@
+lib/experiments/e16_contact_window.ml: Channel Dlc Float Format Hdlc Lams_dlc List Orbit Printf Report Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/e16_contact_window.mli: Format

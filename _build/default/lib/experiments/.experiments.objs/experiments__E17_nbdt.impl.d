@@ -1,0 +1,1 @@
+lib/experiments/e17_nbdt.ml: Channel Dlc List Nbdt Printf Report Scenario Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/e18_hybrid_arq.ml: Analysis Channel Dlc Fec Frame List Printf Report Scenario Sim Stats Workload

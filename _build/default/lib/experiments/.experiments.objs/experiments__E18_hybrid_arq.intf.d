@@ -1,0 +1,1 @@
+lib/experiments/e18_hybrid_arq.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e19_delay_distribution.ml: Channel Dlc Format Hdlc Lams_dlc List Printf Report Scenario Sim Stats String Workload

@@ -1,0 +1,1 @@
+lib/experiments/e19_delay_distribution.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e1_mean_periods.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e20_multihop.ml: Channel Format Hashtbl Hdlc Lams_dlc List Netstack Printf Report Scenario Sim Stats String

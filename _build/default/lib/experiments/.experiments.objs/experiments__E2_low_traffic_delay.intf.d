@@ -1,0 +1,1 @@
+lib/experiments/e2_low_traffic_delay.mli: Format

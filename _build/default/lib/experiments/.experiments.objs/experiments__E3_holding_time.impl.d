@@ -1,0 +1,1 @@
+lib/experiments/e3_holding_time.ml: Analysis Dlc Lams_dlc List Printf Report Scenario Stats

@@ -1,0 +1,1 @@
+lib/experiments/e3_holding_time.mli: Format

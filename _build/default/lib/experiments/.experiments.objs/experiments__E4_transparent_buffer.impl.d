@@ -1,0 +1,1 @@
+lib/experiments/e4_transparent_buffer.ml: Analysis Dlc Format Lams_dlc List Printf Report Scenario Stats

@@ -1,0 +1,1 @@
+lib/experiments/e4_transparent_buffer.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e5_throughput_vs_n.ml: Analysis Format Hdlc Lams_dlc List Report Scenario Stats

@@ -1,0 +1,1 @@
+lib/experiments/e5_throughput_vs_n.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e6_throughput_vs_ber.ml: Analysis Format Hdlc Lams_dlc List Printf Report Scenario Stats

@@ -1,0 +1,1 @@
+lib/experiments/e6_throughput_vs_ber.mli: Format

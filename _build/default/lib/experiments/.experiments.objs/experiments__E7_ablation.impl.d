@@ -1,0 +1,1 @@
+lib/experiments/e7_ablation.ml: Dlc Lams_dlc List Printf Report Scenario Stats

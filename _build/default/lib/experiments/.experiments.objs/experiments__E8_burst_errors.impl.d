@@ -1,0 +1,1 @@
+lib/experiments/e8_burst_errors.ml: Channel Dlc Format Hdlc Lams_dlc List Printf Report Scenario Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/e9_link_failure.ml: Channel Dlc Float Format Hdlc Lams_dlc List Printf Report Scenario Sim Stats Workload

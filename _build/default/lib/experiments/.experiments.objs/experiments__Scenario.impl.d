@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Analysis Channel Dlc Frame Hdlc Lams_dlc Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Analysis Dlc Hdlc Lams_dlc

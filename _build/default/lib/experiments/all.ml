@@ -1,0 +1,47 @@
+type t = { id : string; name : string; run : ?quick:bool -> Format.formatter -> unit }
+
+let all =
+  [
+    { id = "e1"; name = E1_mean_periods.name; run = E1_mean_periods.run };
+    { id = "e2"; name = E2_low_traffic_delay.name; run = E2_low_traffic_delay.run };
+    { id = "e3"; name = E3_holding_time.name; run = E3_holding_time.run };
+    {
+      id = "e4";
+      name = E4_transparent_buffer.name;
+      run = E4_transparent_buffer.run;
+    };
+    { id = "e5"; name = E5_throughput_vs_n.name; run = E5_throughput_vs_n.run };
+    {
+      id = "e6";
+      name = E6_throughput_vs_ber.name;
+      run = E6_throughput_vs_ber.run;
+    };
+    { id = "e7"; name = E7_ablation.name; run = E7_ablation.run };
+    { id = "e8"; name = E8_burst_errors.name; run = E8_burst_errors.run };
+    { id = "e9"; name = E9_link_failure.name; run = E9_link_failure.run };
+    { id = "e10"; name = E10_ntotal.name; run = E10_ntotal.run };
+    {
+      id = "e11";
+      name = E11_retransmission_prob.name;
+      run = E11_retransmission_prob.run;
+    };
+    { id = "e12"; name = E12_numbering.name; run = E12_numbering.run };
+    { id = "e13"; name = E13_arq_variants.name; run = E13_arq_variants.run };
+    { id = "e14"; name = E14_window_scaling.name; run = E14_window_scaling.run };
+    { id = "e15"; name = E15_fec_residual.name; run = E15_fec_residual.run };
+    { id = "e16"; name = E16_contact_window.name; run = E16_contact_window.run };
+    { id = "e17"; name = E17_nbdt.name; run = E17_nbdt.run };
+    { id = "e18"; name = E18_hybrid_arq.name; run = E18_hybrid_arq.run };
+    {
+      id = "e19";
+      name = E19_delay_distribution.name;
+      run = E19_delay_distribution.run;
+    };
+    { id = "e20"; name = E20_multihop.name; run = E20_multihop.run };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick ppf = List.iter (fun e -> e.run ?quick ppf) all

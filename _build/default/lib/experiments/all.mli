@@ -1,0 +1,10 @@
+(** Registry of all experiments, for the bench harness and the CLI. *)
+
+type t = { id : string; name : string; run : ?quick:bool -> Format.formatter -> unit }
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by id ("e1" ... "e12"). *)
+
+val run_all : ?quick:bool -> Format.formatter -> unit

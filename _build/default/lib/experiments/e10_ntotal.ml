@@ -1,0 +1,26 @@
+let name = "E10 transmission inflation N_total(N)"
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E10" ~title:"transmission inflation N_total(N)";
+  let ns = if quick then [ 200; 1000 ] else [ 200; 500; 1000; 2000; 5000 ] in
+  let table =
+    Stats.Table.create
+      ~header:[ "N"; "recursion"; "N*s_bar"; "sim total tx"; "sim/recursion" ]
+  in
+  List.iter
+    (fun n ->
+      let cfg = { Scenario.default with Scenario.n_frames = n; ber = 3e-5 } in
+      let params = Scenario.default_lams_params cfg in
+      let link = Scenario.analytic_link cfg ~protocol_kind:`Lams in
+      let i_cp = params.Lams_dlc.Params.w_cp in
+      let model = Analysis.Lams_model.n_total link ~i_cp ~n in
+      let asym = float_of_int n *. Analysis.Lams_model.s_bar link in
+      let r = Scenario.run cfg (Scenario.Lams params) in
+      let m = r.Scenario.metrics in
+      let sim =
+        float_of_int (m.Dlc.Metrics.iframes_sent + m.Dlc.Metrics.retransmissions)
+      in
+      Stats.Table.add_float_row table (string_of_int n)
+        [ model; asym; sim; Report.ratio sim model ])
+    ns;
+  Report.table ppf table

@@ -1,0 +1,9 @@
+(** E10 — High-traffic transmission inflation [N_total(N)].
+
+    Validates the §4 subperiod recursion for the total number of
+    transmissions (news + retransmissions) against the simulator's
+    transmission counters, and against the asymptote [N·s̄]. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

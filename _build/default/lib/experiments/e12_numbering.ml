@@ -1,0 +1,40 @@
+let name = "E12 numbering size bound"
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E12" ~title:"numbering size bound (resolving period)";
+  let n = if quick then 1000 else 5000 in
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "w_cp (x t_f)";
+          "bound (frames)";
+          "observed span peak";
+          "within bound";
+        ]
+  in
+  List.iter
+    (fun w_mult ->
+      let cfg = { Scenario.default with Scenario.n_frames = n; ber = 3e-5 } in
+      let w_cp = float_of_int w_mult *. Scenario.t_f cfg in
+      let params = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp } in
+      let link = Scenario.analytic_link cfg ~protocol_kind:`Lams in
+      let bound =
+        Analysis.Lams_model.numbering_size link ~i_cp:w_cp
+          ~c_depth:params.Lams_dlc.Params.c_depth
+      in
+      (* the analytic resolving period starts at a frame's *arrival*; the
+         span also contains the frames serialised during one-way flight,
+         so allow the pipe on top of the bound *)
+      let pipe = Scenario.rtt cfg /. 2. /. Scenario.t_f cfg in
+      let r = Scenario.run cfg (Scenario.Lams params) in
+      let span = float_of_int r.Scenario.span_peak in
+      Stats.Table.add_row table
+        [
+          string_of_int w_mult;
+          Printf.sprintf "%.0f" bound;
+          Printf.sprintf "%.0f" span;
+          string_of_bool (span <= bound +. pipe);
+        ])
+    (if quick then [ 64 ] else [ 16; 64; 256; 1024 ]);
+  Report.table ppf table

@@ -1,0 +1,12 @@
+(** E12 — Bounded numbering size.
+
+    §3.3: renumbered retransmissions bound any frame's unresolved life to
+    the resolving period [R + W_cp/2 + C_depth·W_cp], so the span of
+    simultaneously outstanding sequence numbers never needs to exceed
+    [resolving period / t_f] (plus the in-flight pipe). The experiment
+    records the peak observed span under saturation and checks it against
+    the bound across checkpoint intervals. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

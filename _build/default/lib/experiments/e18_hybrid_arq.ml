@@ -1,0 +1,100 @@
+let name = "E18 Type-I hybrid ARQ: FEC under the ARQ"
+
+(* Calibrate a code's residual frame error probability at a given channel
+   BER with the bit-exact path, on the full-size I-frame. *)
+let residual_fer ~code ~ber ~trials ~frame =
+  let path =
+    Channel.Coded_path.create
+      ~rng:(Sim.Rng.create ~seed:97)
+      ~iframe_code:code ~cframe_code:code
+      ~error_model:(Channel.Error_model.uniform ~ber ())
+  in
+  Channel.Coded_path.residual_fer path frame ~trials
+
+(* Fold the hybrid into the frame-level simulation: the code stretches
+   every frame by 1/rate (modelled as a slower effective line) and
+   replaces the channel BER with one whose uniform FER at the frame size
+   equals the calibrated residual. *)
+let run_hybrid ~cfg ~code_rate ~residual =
+  let raw_bits = Scenario.iframe_bits cfg in
+  let eff_cfg =
+    {
+      cfg with
+      Scenario.data_rate_bps = cfg.Scenario.data_rate_bps *. code_rate;
+      ber =
+        (if residual <= 0. then 0.
+         else if residual >= 1. then 0.49
+         else Channel.Error_model.ber_for_frame_error_prob ~bits:raw_bits ~fer:residual);
+      cframe_ber = 1e-9;
+    }
+  in
+  let r =
+    Scenario.run eff_cfg (Scenario.Lams (Scenario.default_lams_params eff_cfg))
+  in
+  (* efficiency must be charged against the RAW line rate: the code's
+     overhead is part of the protocol stack, not the channel *)
+  let elapsed = r.Scenario.elapsed in
+  let t_f_raw = float_of_int raw_bits /. cfg.Scenario.data_rate_bps in
+  if elapsed > 0. then
+    float_of_int (Dlc.Metrics.unique_delivered r.Scenario.metrics)
+    *. t_f_raw /. elapsed
+  else 0.
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E18" ~title:"Type-I hybrid ARQ (FEC under the ARQ)";
+  let n = if quick then 500 else 2000 in
+  let trials = if quick then 60 else 300 in
+  let frame =
+    Frame.Wire.Data
+      (Frame.Iframe.create ~seq:0
+         ~payload:(Workload.Arrivals.default_payload ~size:1024 0))
+  in
+  let raw_bits = Frame.Wire.size_bits frame in
+  let schemes =
+    [
+      ("arq-only", None);
+      ("hybrid rs(255,223)", Some (Fec.Reed_solomon.code ~n:255 ~k:223));
+      ("hybrid hamming74", Some Fec.Code.hamming74);
+    ]
+  in
+  let bers = if quick then [ 1e-5; 1e-3 ] else [ 1e-6; 1e-5; 1e-4; 3e-4; 1e-3 ] in
+  let table =
+    Stats.Table.create
+      ~header:[ "ber"; "scheme"; "code rate"; "residual P_F"; "efficiency" ]
+  in
+  List.iter
+    (fun ber ->
+      let cfg = { Scenario.default with Scenario.ber; n_frames = n; horizon = 120. } in
+      List.iter
+        (fun (label, code) ->
+          let rate, residual, eff =
+            match code with
+            | None ->
+                let p_f = Analysis.Common.p_any_error ~ber ~bits:raw_bits in
+                let r =
+                  Scenario.run { cfg with Scenario.cframe_ber = 1e-9 }
+                    (Scenario.Lams (Scenario.default_lams_params cfg))
+                in
+                (1., p_f, r.Scenario.efficiency)
+            | Some code ->
+                let rate = Fec.Code.rate code ~data_bits:raw_bits in
+                let residual = residual_fer ~code ~ber ~trials ~frame in
+                (rate, residual, run_hybrid ~cfg ~code_rate:rate ~residual)
+          in
+          Stats.Table.add_row table
+            [
+              Printf.sprintf "%g" ber;
+              label;
+              Printf.sprintf "%.3f" rate;
+              Printf.sprintf "%.4f" residual;
+              Printf.sprintf "%.4f" eff;
+            ])
+        schemes)
+    bers;
+  Report.table ppf table;
+  Report.note ppf
+    "Expect: the low-rate Hamming hybrid is pure overhead until extreme\n\
+     BERs; the high-rate RS hybrid is near-free insurance across the whole\n\
+     sweep (it even erases the retransmission tail at 1e-6); the uncoded\n\
+     scheme collapses beyond BER 1e-4 — the §1 rationale for making FEC an\n\
+     integral part of any laser-link DLC, with ARQ on top for the residue."

@@ -1,0 +1,89 @@
+let name = "E19 delivery-delay distribution at moderate load"
+
+(* delays are recovered from the payload prefix: default_payload embeds
+   the frame index, and deterministic arrivals offer frame i at i/rate *)
+let run_one ~cfg ~rate ~protocol =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:cfg.Scenario.seed in
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m:cfg.Scenario.distance_m
+      ~data_rate_bps:cfg.Scenario.data_rate_bps
+      ~iframe_error:(Channel.Error_model.uniform ~ber:cfg.Scenario.ber ())
+      ~cframe_error:(Channel.Error_model.uniform ~ber:cfg.Scenario.cframe_ber ())
+  in
+  let dlc =
+    match protocol with
+    | `Lams ->
+        Lams_dlc.Session.as_dlc
+          (Lams_dlc.Session.create engine
+             ~params:(Scenario.default_lams_params cfg) ~duplex)
+    | `Hdlc ->
+        Hdlc.Session.as_dlc
+          (Hdlc.Session.create engine ~params:(Scenario.default_hdlc_params cfg)
+             ~duplex)
+  in
+  let hist = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:100_000 in
+  let online = Stats.Online.create () in
+  dlc.Dlc.Session.set_on_deliver (fun ~payload ->
+      match int_of_string_opt (String.sub payload 0 10) with
+      | Some i ->
+          let offered_at = float_of_int i /. rate in
+          let delay = Sim.Engine.now engine -. offered_at in
+          Stats.Histogram.add hist delay;
+          Stats.Online.add online delay
+      | None -> ());
+  ignore
+    (Workload.Arrivals.deterministic engine ~session:dlc ~rate
+       ~count:cfg.Scenario.n_frames
+       ~payload:(Workload.Arrivals.default_payload ~size:cfg.Scenario.payload_bytes)
+      : Workload.Arrivals.t);
+  Sim.Engine.run engine ~until:cfg.Scenario.horizon;
+  dlc.Dlc.Session.stop ();
+  Sim.Engine.run engine;
+  (online, hist)
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E19" ~title:"delivery-delay distribution";
+  let n = if quick then 1000 else 5000 in
+  let cfg = { Scenario.default with Scenario.n_frames = n; horizon = 120. } in
+  Format.fprintf ppf "one-way flight = %.1f ms@."
+    (1000. *. Scenario.rtt cfg /. 2.);
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "load / protocol";
+          "mean ms";
+          "p50 ms";
+          "p95 ms";
+          "p99 ms";
+          "max ms";
+        ]
+  in
+  (* 4% of line rate sits under SR-HDLC's ~6% window duty cycle (both
+     protocols stable); 50% exceeds it (HDLC queue diverges) *)
+  List.iter
+    (fun (load_label, load) ->
+      let rate = load /. Scenario.t_f cfg in
+      List.iter
+        (fun (label, protocol) ->
+          let online, hist = run_one ~cfg ~rate ~protocol in
+          let ms x = Printf.sprintf "%.2f" (1000. *. x) in
+          Stats.Table.add_row table
+            [
+              Printf.sprintf "%s %s" load_label label;
+              ms (Stats.Online.mean online);
+              ms (Stats.Histogram.percentile hist 50.);
+              ms (Stats.Histogram.percentile hist 95.);
+              ms (Stats.Histogram.percentile hist 99.);
+              ms (Stats.Online.max online);
+            ])
+        [ ("lams", `Lams); ("sr-hdlc", `Hdlc) ])
+    [ ("4%", 0.04); ("50%", 0.5) ];
+  Report.table ppf table;
+  Report.note ppf
+    "Expect: at 4% load (inside SR-HDLC's ~6% duty cycle) both protocols\n\
+     deliver near the one-way flight, HDLC with a fatter recovery tail; at\n\
+     50% load LAMS-DLC still hugs the flight time while SR-HDLC is beyond\n\
+     its capacity and its queueing delay diverges — the §1 point that\n\
+     FIFO-ARQ queueing delay scales with rate, distance and the protocol."

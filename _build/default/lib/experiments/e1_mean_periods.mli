@@ -1,0 +1,10 @@
+(** E1 — Mean number of transmission periods [s̄] vs. channel BER.
+
+    Reproduces the §4 result [s̄_LAMS = 1/(1-P_F)] vs.
+    [s̄_HDLC = 1/(1-(P_F+P_C-P_F·P_C))]: the NAK-only scheme needs fewer
+    rounds per frame. The simulated value is (first transmissions +
+    retransmissions) / frames delivered. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,12 @@
+(** E20 — end-to-end messages over a multi-hop store-and-forward subnet.
+
+    §2.3's architectural argument: relaxing in-sequence delivery lets
+    every subnet node forward out-of-order frames immediately and pushes
+    resequencing to the destination, so intermediate nodes hold almost
+    nothing. The experiment sends fragmented messages across a chain of
+    lossy LAMS-DLC or SR-HDLC hops and reports end-to-end message latency
+    and the destination resequencer's buffer cost. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,9 @@
+(** E2 — Low-traffic total delivery time [D_low(N)].
+
+    A batch of [N] frames is offered at once and the time to deliver all
+    of them safely is measured, against the §4 closed forms
+    [D_low^LAMS(N)] and [D_low^HDLC] (windowed for [N > W]). *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,10 @@
+(** E3 — Mean sending-buffer holding time [H_frame].
+
+    Validates [H = s̄·(R + t_f + t_c + t_proc + (n̄_cp - 1/2)·I_cp)]
+    against the measured residency of released frames, swept over BER and
+    over the checkpoint interval (shorter [I_cp] ⇒ shorter holding —
+    the paper's "buffer control" §3.4). *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

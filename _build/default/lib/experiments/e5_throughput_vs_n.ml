@@ -1,0 +1,53 @@
+let name = "E5 throughput efficiency vs traffic N (headline)"
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E5"
+    ~title:"throughput efficiency vs traffic N (headline result)";
+  let ns = if quick then [ 100; 1000 ] else [ 100; 500; 1000; 2000; 5000 ] in
+  let s_lams = Stats.Series.create ~name:"lams sim" in
+  let s_hdlc = Stats.Series.create ~name:"hdlc sim" in
+  let s_lams_model = Stats.Series.create ~name:"lams model" in
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "N";
+          "lams model";
+          "lams sim";
+          "hdlc model";
+          "hdlc sim";
+          "sim speedup";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let cfg = { Scenario.default with Scenario.n_frames = n } in
+      let lams_params = Scenario.default_lams_params cfg in
+      let hdlc_params = Scenario.default_hdlc_params cfg in
+      let i_cp = lams_params.Lams_dlc.Params.w_cp in
+      let alpha = Scenario.default_hdlc_alpha cfg in
+      let w = hdlc_params.Hdlc.Params.window in
+      let lams_link = Scenario.analytic_link cfg ~protocol_kind:`Lams in
+      let hdlc_link = Scenario.analytic_link cfg ~protocol_kind:`Hdlc in
+      let lams = Scenario.run cfg (Scenario.Lams lams_params) in
+      let hdlc = Scenario.run cfg (Scenario.Hdlc hdlc_params) in
+      let x = float_of_int n in
+      Stats.Series.add s_lams ~x ~y:lams.Scenario.efficiency;
+      Stats.Series.add s_hdlc ~x ~y:hdlc.Scenario.efficiency;
+      Stats.Series.add s_lams_model ~x
+        ~y:(Analysis.Lams_model.throughput_efficiency lams_link ~i_cp ~n);
+      Stats.Table.add_float_row table (string_of_int n)
+        [
+          Analysis.Lams_model.throughput_efficiency lams_link ~i_cp ~n;
+          lams.Scenario.efficiency;
+          Analysis.Hdlc_model.throughput_efficiency hdlc_link ~alpha ~w ~n;
+          hdlc.Scenario.efficiency;
+          Report.ratio lams.Scenario.efficiency hdlc.Scenario.efficiency;
+        ])
+    ns;
+  Report.table ppf table;
+  Format.fprintf ppf "figure: efficiency vs offered frames N@.";
+  Stats.Series.pp_ascii_plot ~height:14 ppf [ s_lams; s_hdlc; s_lams_model ];
+  Report.note ppf
+    "Expect: lams efficiency rising towards ~0.9 with N; hdlc flat at the\n\
+     window duty cycle (W*t_f / (W*t_f + R)); speedup >> 1 throughout."

@@ -1,0 +1,10 @@
+(** E5 — Headline result: high-traffic throughput efficiency vs. N.
+
+    The paper's closing comparison: [η_LAMS] grows towards 1 with channel
+    traffic because transmission overlaps retransmission, while
+    [η_HDLC] stays pinned by the per-window resolve periods. Closed forms
+    and saturating-traffic simulation, both protocols. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,41 @@
+let name = "E6 throughput efficiency vs BER"
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E6" ~title:"throughput efficiency vs BER";
+  let n = if quick then 500 else 2000 in
+  let bers =
+    if quick then [ 1e-6; 1e-4 ] else [ 1e-7; 1e-6; 1e-5; 3e-5; 1e-4; 3e-4 ]
+  in
+  let s_lams = Stats.Series.create ~name:"lams sim" in
+  let s_hdlc = Stats.Series.create ~name:"hdlc sim" in
+  let table =
+    Stats.Table.create
+      ~header:[ "ber"; "lams model"; "lams sim"; "hdlc model"; "hdlc sim" ]
+  in
+  List.iter
+    (fun ber ->
+      let cfg = { Scenario.default with Scenario.ber; n_frames = n } in
+      let lams_params = Scenario.default_lams_params cfg in
+      let hdlc_params = Scenario.default_hdlc_params cfg in
+      let i_cp = lams_params.Lams_dlc.Params.w_cp in
+      let alpha = Scenario.default_hdlc_alpha cfg in
+      let w = hdlc_params.Hdlc.Params.window in
+      let lams_link = Scenario.analytic_link cfg ~protocol_kind:`Lams in
+      let hdlc_link = Scenario.analytic_link cfg ~protocol_kind:`Hdlc in
+      let lams = Scenario.run cfg (Scenario.Lams lams_params) in
+      let hdlc = Scenario.run cfg (Scenario.Hdlc hdlc_params) in
+      let x = log10 ber in
+      Stats.Series.add s_lams ~x ~y:lams.Scenario.efficiency;
+      Stats.Series.add s_hdlc ~x ~y:hdlc.Scenario.efficiency;
+      Stats.Table.add_float_row table
+        (Printf.sprintf "%g" ber)
+        [
+          Analysis.Lams_model.throughput_efficiency lams_link ~i_cp ~n;
+          lams.Scenario.efficiency;
+          Analysis.Hdlc_model.throughput_efficiency hdlc_link ~alpha ~w ~n;
+          hdlc.Scenario.efficiency;
+        ])
+    bers;
+  Report.table ppf table;
+  Format.fprintf ppf "figure: efficiency vs log10(BER)@.";
+  Stats.Series.pp_ascii_plot ~height:14 ppf [ s_lams; s_hdlc ]

@@ -1,0 +1,10 @@
+(** E6 — Throughput efficiency vs. channel BER.
+
+    The high-error-environment claim: [s̄_HDLC > s̄_LAMS] grows with error
+    rate, so the efficiency gap widens as the channel degrades. Fixed
+    saturating traffic, BER swept across the paper's laser-link range
+    (1e-7 … 1e-4). *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

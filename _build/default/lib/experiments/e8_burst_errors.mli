@@ -1,0 +1,10 @@
+(** E8 — Burst errors (Gilbert–Elliott mispointing model).
+
+    §3.3: cumulative NAKs keep LAMS-DLC alive through bursts provided
+    [C_depth·W_cp > burst length]; shorter coverage degenerates into
+    enforced recoveries. Burst duration is swept across that boundary and
+    compared against SR-HDLC under the identical channel. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

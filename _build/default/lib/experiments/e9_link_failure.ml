@@ -1,0 +1,158 @@
+let name = "E9 link blackout: enforced recovery and failure detection"
+
+type outcome = {
+  halt_detected_at : float;  (* first time the sender halted, or nan *)
+  recovered_at : float;  (* first un-halt after the blackout, or nan *)
+  declared_failed : bool;
+  loss : int;
+  duplicates : int;
+  delivered : int;
+}
+
+let run_lams ~blackout_start ~blackout_len ~n ~cfg =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:cfg.Scenario.seed in
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m:cfg.Scenario.distance_m
+      ~data_rate_bps:cfg.Scenario.data_rate_bps
+      ~iframe_error:(Channel.Error_model.uniform ~ber:cfg.Scenario.ber ())
+      ~cframe_error:(Channel.Error_model.uniform ~ber:cfg.Scenario.cframe_ber ())
+  in
+  let params =
+    (* match HDLC's N2 = 10 retry budget so the two protocols face the
+       same give-up boundary *)
+    {
+      (Scenario.default_lams_params cfg) with
+      Lams_dlc.Params.request_nak_retries = 10;
+    }
+  in
+  let session = Lams_dlc.Session.create engine ~params ~duplex in
+  let dlc = Lams_dlc.Session.as_dlc session in
+  let sender = Lams_dlc.Session.sender session in
+  let payload = Workload.Arrivals.default_payload ~size:cfg.Scenario.payload_bytes in
+  ignore
+    (Workload.Arrivals.saturating engine ~session:dlc ~count:n ~payload
+      : Workload.Arrivals.t);
+  ignore
+    (Sim.Engine.schedule engine ~delay:blackout_start (fun () ->
+         Channel.Duplex.set_down duplex)
+      : Sim.Engine.event_id);
+  ignore
+    (Sim.Engine.schedule engine ~delay:(blackout_start +. blackout_len) (fun () ->
+         Channel.Duplex.set_up duplex)
+      : Sim.Engine.event_id);
+  (* watch the sender's halt flag at fine granularity *)
+  let halt_at = ref nan and recover_at = ref nan in
+  let rec watch () =
+    if Lams_dlc.Sender.halted sender && Float.is_nan !halt_at then
+      halt_at := Sim.Engine.now engine;
+    if
+      (not (Float.is_nan !halt_at))
+      && Float.is_nan !recover_at
+      && (not (Lams_dlc.Sender.halted sender))
+      && not (Lams_dlc.Sender.failed sender)
+    then recover_at := Sim.Engine.now engine;
+    if Sim.Engine.now engine < cfg.Scenario.horizon then
+      ignore (Sim.Engine.schedule engine ~delay:5e-4 watch : Sim.Engine.event_id)
+  in
+  watch ();
+  Sim.Engine.run engine ~until:cfg.Scenario.horizon;
+  dlc.Dlc.Session.stop ();
+  Sim.Engine.run engine;
+  let m = dlc.Dlc.Session.metrics in
+  {
+    halt_detected_at = !halt_at;
+    recovered_at = !recover_at;
+    declared_failed = Lams_dlc.Sender.failed sender;
+    loss = Dlc.Metrics.loss m;
+    duplicates = m.Dlc.Metrics.duplicates;
+    delivered = Dlc.Metrics.unique_delivered m;
+  }
+
+let run_hdlc ~blackout_start ~blackout_len ~n ~cfg =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:cfg.Scenario.seed in
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m:cfg.Scenario.distance_m
+      ~data_rate_bps:cfg.Scenario.data_rate_bps
+      ~iframe_error:(Channel.Error_model.uniform ~ber:cfg.Scenario.ber ())
+      ~cframe_error:(Channel.Error_model.uniform ~ber:cfg.Scenario.cframe_ber ())
+  in
+  let session =
+    Hdlc.Session.create engine ~params:(Scenario.default_hdlc_params cfg) ~duplex
+  in
+  let dlc = Hdlc.Session.as_dlc session in
+  let payload = Workload.Arrivals.default_payload ~size:cfg.Scenario.payload_bytes in
+  ignore
+    (Workload.Arrivals.saturating engine ~session:dlc ~count:n ~payload
+      : Workload.Arrivals.t);
+  ignore
+    (Sim.Engine.schedule engine ~delay:blackout_start (fun () ->
+         Channel.Duplex.set_down duplex)
+      : Sim.Engine.event_id);
+  ignore
+    (Sim.Engine.schedule engine ~delay:(blackout_start +. blackout_len) (fun () ->
+         Channel.Duplex.set_up duplex)
+      : Sim.Engine.event_id);
+  Sim.Engine.run engine ~until:cfg.Scenario.horizon;
+  dlc.Dlc.Session.stop ();
+  Sim.Engine.run engine;
+  let m = dlc.Dlc.Session.metrics in
+  {
+    halt_detected_at = nan;
+    recovered_at = nan;
+    declared_failed = Hdlc.Sender.failed (Hdlc.Session.sender session);
+    loss = Dlc.Metrics.loss m;
+    duplicates = m.Dlc.Metrics.duplicates;
+    delivered = Dlc.Metrics.unique_delivered m;
+  }
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E9"
+    ~title:"link blackout: enforced recovery and failure detection";
+  let n = if quick then 2000 else 10000 in
+  let cfg = { Scenario.default with Scenario.n_frames = n; horizon = 30. } in
+  let params = Scenario.default_lams_params cfg in
+  let silence = Lams_dlc.Params.checkpoint_timeout params in
+  let blackout_start = 0.02 in
+  Format.fprintf ppf
+    "checkpoint silence threshold C_depth*W_cp = %.4f s; blackout starts at %.3f s@."
+    silence blackout_start;
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "blackout s";
+          "halt at s";
+          "recovered at s";
+          "failed";
+          "loss";
+          "dups";
+          "delivered";
+          "hdlc failed";
+          "hdlc delivered";
+        ]
+  in
+  let blackouts = if quick then [ 0.02; 1.0 ] else [ 0.01; 0.02; 0.05; 0.2; 1.0 ] in
+  List.iter
+    (fun blackout_len ->
+      let o = run_lams ~blackout_start ~blackout_len ~n ~cfg in
+      let h = run_hdlc ~blackout_start ~blackout_len ~n ~cfg in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%g" blackout_len;
+          Printf.sprintf "%.4f" o.halt_detected_at;
+          Printf.sprintf "%.4f" o.recovered_at;
+          string_of_bool o.declared_failed;
+          string_of_int o.loss;
+          string_of_int o.duplicates;
+          string_of_int o.delivered;
+          string_of_bool h.declared_failed;
+          string_of_int h.delivered;
+        ])
+    blackouts;
+  Report.table ppf table;
+  Report.note ppf
+    "Expect: halt within C_depth*W_cp of the blackout; short blackouts\n\
+     recover with zero loss; blackouts beyond the failure timer declare\n\
+     failure (frames retained, not lost)."

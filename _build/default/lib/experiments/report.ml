@@ -1,0 +1,8 @@
+let section ppf ~id ~title =
+  Format.fprintf ppf "@.=== %s: %s ===@." id title
+
+let note ppf s = Format.fprintf ppf "%s@." s
+
+let table ppf t = Format.fprintf ppf "%a" Stats.Table.pp t
+
+let ratio a b = if b = 0. then nan else a /. b

@@ -1,0 +1,152 @@
+type protocol = Lams of Lams_dlc.Params.t | Hdlc of Hdlc.Params.t
+
+type burst = {
+  ber_good : float;
+  ber_bad : float;
+  mean_burst_bits : float;
+  mean_gap_bits : float;
+}
+
+type config = {
+  seed : int;
+  distance_m : float;
+  data_rate_bps : float;
+  payload_bytes : int;
+  ber : float;
+  cframe_ber : float;
+  burst : burst option;
+  n_frames : int;
+  traffic : [ `Saturating | `Rate of float ];
+  horizon : float;
+}
+
+let default =
+  {
+    seed = 1;
+    distance_m = 4_000_000.;
+    data_rate_bps = 300e6;
+    payload_bytes = 1024;
+    ber = 1e-5;
+    cframe_ber = 1e-5;
+    burst = None;
+    n_frames = 2000;
+    traffic = `Saturating;
+    horizon = 60.;
+  }
+
+type result = {
+  metrics : Dlc.Metrics.t;
+  elapsed : float;
+  sim_time : float;
+  completed : bool;
+  sender_backlog : int;
+  span_peak : int;
+  efficiency : float;
+}
+
+let iframe_bits cfg = 8 * (cfg.payload_bytes + Frame.Wire.iframe_overhead_bytes)
+
+let cframe_bits ~protocol_kind =
+  match protocol_kind with
+  | `Lams -> 8 * Frame.Wire.cframe_base_bytes
+  | `Hdlc -> 8 * Frame.Wire.hframe_bytes
+
+let t_f cfg = float_of_int (iframe_bits cfg) /. cfg.data_rate_bps
+
+let rtt cfg = 2. *. cfg.distance_m /. Channel.Link.speed_of_light
+
+let effective_ber cfg =
+  match cfg.burst with
+  | None -> cfg.ber
+  | Some b ->
+      (* stationary average of the two-state chain *)
+      let pi_bad = b.mean_burst_bits /. (b.mean_burst_bits +. b.mean_gap_bits) in
+      (pi_bad *. b.ber_bad) +. ((1. -. pi_bad) *. b.ber_good)
+
+let analytic_link cfg ~protocol_kind =
+  Analysis.Common.link_of_physical ~distance_m:cfg.distance_m
+    ~data_rate_bps:cfg.data_rate_bps ~iframe_bits:(iframe_bits cfg)
+    ~cframe_bits:(cframe_bits ~protocol_kind)
+    ~t_proc:10e-6 ~ber:(effective_ber cfg) ~cframe_ber:cfg.cframe_ber
+
+let default_hdlc_alpha cfg = 0.5 *. rtt cfg
+
+let default_hdlc_params cfg =
+  { Hdlc.Params.default with Hdlc.Params.t_out = rtt cfg +. default_hdlc_alpha cfg }
+
+let default_lams_params cfg =
+  (* a checkpoint interval of ~64 frame times keeps command overhead tiny
+     while bounding holding times well below the RTT scale *)
+  { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 64. *. t_f cfg }
+
+let error_models cfg ~rng:_ =
+  let iframe_error =
+    match cfg.burst with
+    | None -> Channel.Error_model.uniform ~ber:cfg.ber ()
+    | Some b ->
+        Channel.Error_model.gilbert_elliott ~ber_good:b.ber_good
+          ~ber_bad:b.ber_bad ~mean_burst_bits:b.mean_burst_bits
+          ~mean_gap_bits:b.mean_gap_bits ()
+  in
+  let cframe_error = Channel.Error_model.uniform ~ber:cfg.cframe_ber () in
+  (iframe_error, cframe_error)
+
+let run cfg protocol =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:cfg.seed in
+  let iframe_error, cframe_error = error_models cfg ~rng in
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m:cfg.distance_m
+      ~data_rate_bps:cfg.data_rate_bps ~iframe_error ~cframe_error
+  in
+  let session, span_peak_fn =
+    match protocol with
+    | Lams params ->
+        let s = Lams_dlc.Session.create engine ~params ~duplex in
+        ( Lams_dlc.Session.as_dlc s,
+          fun () -> Lams_dlc.Sender.outstanding_span_peak (Lams_dlc.Session.sender s) )
+    | Hdlc params ->
+        let s = Hdlc.Session.create engine ~params ~duplex in
+        (Hdlc.Session.as_dlc s, fun () -> 0)
+  in
+  let payload = Workload.Arrivals.default_payload ~size:cfg.payload_bytes in
+  let arrivals =
+    match cfg.traffic with
+    | `Saturating ->
+        Workload.Arrivals.saturating engine ~session ~count:cfg.n_frames ~payload
+    | `Rate r ->
+        Workload.Arrivals.deterministic engine ~session ~rate:r
+          ~count:cfg.n_frames ~payload
+  in
+  let metrics = session.Dlc.Session.metrics in
+  (* Stop condition: all offered frames delivered (uniquely) or horizon.
+     Poll with a watcher event so the run ends as soon as work is done. *)
+  let finished () =
+    Workload.Arrivals.finished arrivals
+    && Dlc.Metrics.unique_delivered metrics >= cfg.n_frames
+  in
+  let rec watch () =
+    if finished () then
+      (* stop periodic activity so the event queue can drain and the run
+         ends at the completion instant instead of the horizon *)
+      session.Dlc.Session.stop ()
+    else if Sim.Engine.now engine < cfg.horizon then
+      ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id)
+  in
+  ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id);
+  Sim.Engine.run engine ~until:cfg.horizon;
+  session.Dlc.Session.stop ();
+  Sim.Engine.run engine ~until:(cfg.horizon +. 10.);
+  let elapsed = Dlc.Metrics.elapsed metrics in
+  {
+    metrics;
+    elapsed;
+    sim_time = Sim.Engine.now engine;
+    completed = Dlc.Metrics.unique_delivered metrics >= cfg.n_frames;
+    sender_backlog = session.Dlc.Session.sender_backlog ();
+    span_peak = span_peak_fn ();
+    efficiency =
+      (if elapsed > 0. then
+         float_of_int (Dlc.Metrics.unique_delivered metrics) *. t_f cfg /. elapsed
+       else 0.);
+  }

@@ -1,0 +1,68 @@
+(** Common scenario builder for every experiment.
+
+    One [config] describes the physical link, channel and workload; [run]
+    executes it under either protocol and returns uniform results, so a
+    sweep is a list of configs. Defaults follow the paper's environment
+    (§2.1): 300 Mbit/s laser link, 4,000 km, BER 1e-5, 1 kB I-frames. *)
+
+type protocol = Lams of Lams_dlc.Params.t | Hdlc of Hdlc.Params.t
+
+type burst = {
+  ber_good : float;
+  ber_bad : float;
+  mean_burst_bits : float;
+  mean_gap_bits : float;
+}
+
+type config = {
+  seed : int;
+  distance_m : float;
+  data_rate_bps : float;
+  payload_bytes : int;
+  ber : float;  (** I-frame channel BER (uniform model) *)
+  cframe_ber : float;  (** control-frame channel BER (stronger FEC) *)
+  burst : burst option;  (** overrides [ber] with Gilbert–Elliott *)
+  n_frames : int;
+  traffic : [ `Saturating | `Rate of float ];
+  horizon : float;  (** hard stop for the run, simulated seconds *)
+}
+
+val default : config
+(** seed 1, 4,000 km, 300 Mbit/s, 1024 B payloads, BER 1e-5 for both
+    frame classes, 2,000 saturating frames, 60 s horizon. *)
+
+type result = {
+  metrics : Dlc.Metrics.t;
+  elapsed : float;  (** first offer to last delivery *)
+  sim_time : float;  (** when the run actually stopped *)
+  completed : bool;  (** every offered frame delivered *)
+  sender_backlog : int;  (** left in the sending buffer at the end *)
+  span_peak : int;  (** LAMS numbering span; 0 for HDLC *)
+  efficiency : float;  (** unique deliveries * t_f / elapsed *)
+}
+
+val run : config -> protocol -> result
+
+val iframe_bits : config -> int
+
+val cframe_bits : protocol_kind:[ `Lams | `Hdlc ] -> int
+(** Wire size of the protocol's characteristic control frame (an
+    empty-NAK checkpoint, or an HDLC supervisory frame). *)
+
+val t_f : config -> float
+(** I-frame serialisation time. *)
+
+val rtt : config -> float
+
+val analytic_link : config -> protocol_kind:[ `Lams | `Hdlc ] -> Analysis.Common.link
+(** Abstract link for the §4 closed forms, with [p_f]/[p_c] derived from
+    the configured BERs and frame sizes ([burst] uses its stationary
+    average). *)
+
+val default_hdlc_params : config -> Hdlc.Params.t
+(** SR-HDLC with the paper's timeout [t_out = R + alpha], [alpha = R/2]. *)
+
+val default_hdlc_alpha : config -> float
+
+val default_lams_params : config -> Lams_dlc.Params.t
+(** [w_cp] set to a few frame times above the default. *)

@@ -1,0 +1,1 @@
+lib/fec/bitbuf.ml: Bytes Format List String

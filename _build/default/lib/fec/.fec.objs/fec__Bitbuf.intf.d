@@ -1,0 +1,1 @@
+lib/fec/bitbuf.mli: Format

@@ -1,0 +1,1 @@
+lib/fec/code.ml: Bitbuf Conv_code Hamming Interleaver Printf

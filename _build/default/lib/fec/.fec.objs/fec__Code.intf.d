@@ -1,0 +1,1 @@
+lib/fec/code.mli: Bitbuf Conv_code Interleaver

@@ -1,0 +1,1 @@
+lib/fec/conv_code.ml: Array Bitbuf

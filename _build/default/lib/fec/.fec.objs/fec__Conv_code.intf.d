@@ -1,0 +1,1 @@
+lib/fec/conv_code.mli: Bitbuf

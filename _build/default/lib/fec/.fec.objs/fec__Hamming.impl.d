@@ -1,0 +1,1 @@
+lib/fec/hamming.ml: Array Bitbuf List

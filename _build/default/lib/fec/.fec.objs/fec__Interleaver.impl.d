@@ -1,0 +1,1 @@
+lib/fec/interleaver.ml: Bitbuf

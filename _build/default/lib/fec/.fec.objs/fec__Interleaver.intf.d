@@ -1,0 +1,1 @@
+lib/fec/interleaver.mli: Bitbuf

@@ -1,0 +1,1 @@
+lib/fec/reed_solomon.ml: Array Bitbuf Buffer Bytes Char Code Gf256 List Printf String

@@ -1,0 +1,79 @@
+(* Bits are packed into a Bytes.t, MSB-first within each byte. *)
+
+type t = { mutable data : Bytes.t; mutable len : int }
+
+let create () = { data = Bytes.make 16 '\000'; len = 0 }
+
+let capacity t = 8 * Bytes.length t.data
+
+let ensure t bits =
+  if bits > capacity t then begin
+    let nbytes = max (2 * Bytes.length t.data) ((bits + 7) / 8) in
+    let ndata = Bytes.make nbytes '\000' in
+    Bytes.blit t.data 0 ndata 0 (Bytes.length t.data);
+    t.data <- ndata
+  end
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitbuf.get: index out of range";
+  let byte = Bytes.get_uint8 t.data (i / 8) in
+  byte land (0x80 lsr (i mod 8)) <> 0
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Bitbuf.set: index out of range";
+  let pos = i / 8 in
+  let mask = 0x80 lsr (i mod 8) in
+  let byte = Bytes.get_uint8 t.data pos in
+  Bytes.set_uint8 t.data pos (if v then byte lor mask else byte land lnot mask)
+
+let push t v =
+  ensure t (t.len + 1);
+  t.len <- t.len + 1;
+  set t (t.len - 1) v
+
+let of_string s = { data = Bytes.of_string s; len = 8 * String.length s }
+
+let to_string t =
+  Bytes.sub_string t.data 0 ((t.len + 7) / 8)
+
+let of_bits bits =
+  let t = create () in
+  List.iter (push t) bits;
+  t
+
+let to_bits t = List.init t.len (get t)
+
+let append dst src =
+  for i = 0 to src.len - 1 do
+    push dst (get src i)
+  done
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Bitbuf.sub: slice out of bounds";
+  let r = create () in
+  for i = pos to pos + len - 1 do
+    push r (get t i)
+  done;
+  r
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec loop i = i >= a.len || (get a i = get b i && loop (i + 1)) in
+  loop 0
+
+let hamming_distance a b =
+  if a.len <> b.len then invalid_arg "Bitbuf.hamming_distance: length mismatch";
+  let d = ref 0 in
+  for i = 0 to a.len - 1 do
+    if get a i <> get b i then incr d
+  done;
+  !d
+
+let pp ppf t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

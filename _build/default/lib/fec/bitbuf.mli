@@ -1,0 +1,40 @@
+(** Growable bit vectors, MSB-first.
+
+    The FEC coders work on bit streams rather than bytes. [Bitbuf] is the
+    shared carrier: append bits, read by index, convert to/from byte
+    strings (zero-padded to a byte boundary on conversion out). *)
+
+type t
+
+val create : unit -> t
+
+val of_string : string -> t
+(** Bits of the string, MSB-first per byte. *)
+
+val to_string : t -> string
+(** Pads the final partial byte with zero bits. *)
+
+val of_bits : bool list -> t
+
+val to_bits : t -> bool list
+
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+val push : t -> bool -> unit
+
+val append : t -> t -> unit
+(** [append dst src] pushes all bits of [src] onto [dst]. *)
+
+val sub : t -> pos:int -> len:int -> t
+
+val equal : t -> t -> bool
+
+val hamming_distance : t -> t -> int
+(** Raises [Invalid_argument] on length mismatch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(* Shift-register convolutional encoder and hard-decision Viterbi decoder.
+
+   State = the last (k-1) input bits, newest in the MSB position of the
+   register as used below: we keep [reg] with the newest bit at bit
+   position (k-1) after shifting, i.e. reg holds bits b_{t}, b_{t-1}, ...
+   b_{t-k+1} with b_t at the top. Each generator is a k-bit tap mask
+   applied to the register; the output bit is the XOR (parity) of the
+   masked bits. *)
+
+type t = { k : int; g1 : int; g2 : int; nstates : int }
+
+let popcount_parity x =
+  let rec loop x acc = if x = 0 then acc else loop (x lsr 1) (acc lxor (x land 1)) in
+  loop x 0
+
+let create ?(constraint_length = 7) ?(generators = (0o171, 0o133)) () =
+  let k = constraint_length in
+  if k < 2 || k > 12 then
+    invalid_arg "Conv_code.create: constraint_length must be in 2..12";
+  let g1, g2 = generators in
+  let limit = 1 lsl k in
+  if g1 <= 0 || g1 >= limit || g2 <= 0 || g2 >= limit then
+    invalid_arg "Conv_code.create: generators out of range";
+  { k; g1; g2; nstates = 1 lsl (k - 1) }
+
+let default = create ()
+
+(* Register convention: [reg] is a k-bit window, newest input bit in the
+   MSB (bit k-1), oldest in bit 0. A state is the low (k-1) bits of the
+   register before the new bit is shifted in... we instead define:
+   state s (k-1 bits) = previous inputs, newest at bit (k-2). On input
+   bit b, the full window is (b << (k-1)) | s, outputs are parities of
+   window & g, and the next state is window >> 1. *)
+
+let step t state bit =
+  let window = (bit lsl (t.k - 1)) lor state in
+  let o1 = popcount_parity (window land t.g1) in
+  let o2 = popcount_parity (window land t.g2) in
+  let next = window lsr 1 in
+  (next, o1, o2)
+
+let encode t src =
+  let dst = Bitbuf.create () in
+  let state = ref 0 in
+  let feed bit =
+    let next, o1, o2 = step t !state bit in
+    state := next;
+    Bitbuf.push dst (o1 = 1);
+    Bitbuf.push dst (o2 = 1)
+  in
+  for i = 0 to Bitbuf.length src - 1 do
+    feed (if Bitbuf.get src i then 1 else 0)
+  done;
+  for _ = 1 to t.k - 1 do
+    feed 0
+  done;
+  dst
+
+let coded_bits t ~data_bits = 2 * (data_bits + t.k - 1)
+
+let decode t coded ~data_bits =
+  let total_steps = data_bits + t.k - 1 in
+  if Bitbuf.length coded <> 2 * total_steps then
+    invalid_arg "Conv_code.decode: coded length mismatch";
+  let ns = t.nstates in
+  let inf = max_int / 2 in
+  let metric = Array.make ns inf in
+  let next_metric = Array.make ns inf in
+  metric.(0) <- 0;
+  (* survivors.(step).(state) = (prev_state, input_bit) packed *)
+  let survivors = Array.make_matrix total_steps ns (-1) in
+  for stepi = 0 to total_steps - 1 do
+    Array.fill next_metric 0 ns inf;
+    let r1 = if Bitbuf.get coded (2 * stepi) then 1 else 0 in
+    let r2 = if Bitbuf.get coded ((2 * stepi) + 1) then 1 else 0 in
+    let max_bit = if stepi < data_bits then 1 else 0 in
+    for s = 0 to ns - 1 do
+      if metric.(s) < inf then
+        for bit = 0 to max_bit do
+          let next, o1, o2 = step t s bit in
+          let cost = abs (o1 - r1) + abs (o2 - r2) in
+          let m = metric.(s) + cost in
+          if m < next_metric.(next) then begin
+            next_metric.(next) <- m;
+            survivors.(stepi).(next) <- (s lsl 1) lor bit
+          end
+        done
+    done;
+    Array.blit next_metric 0 metric 0 ns
+  done;
+  (* Trellis terminates in state 0 thanks to the flush bits. *)
+  let bits = Array.make total_steps false in
+  let state = ref 0 in
+  for stepi = total_steps - 1 downto 0 do
+    let packed = survivors.(stepi).(!state) in
+    assert (packed >= 0);
+    bits.(stepi) <- packed land 1 = 1;
+    state := packed lsr 1
+  done;
+  let dst = Bitbuf.create () in
+  for i = 0 to data_bits - 1 do
+    Bitbuf.push dst bits.(i)
+  done;
+  dst
+
+let free_distance_lower_bound t =
+  if t.k = 7 && t.g1 = 0o171 && t.g2 = 0o133 then 10 else 3

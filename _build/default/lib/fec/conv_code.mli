@@ -1,0 +1,36 @@
+(** Rate-1/2 convolutional code with hard-decision Viterbi decoding.
+
+    The paper's laser-link codec is built from convolutional codes (Paul
+    et al., cited in §2.1); this module is the stand-in. Default
+    parameters are the classic NASA/Voyager code: constraint length
+    [k = 7], generators 171/133 (octal). The encoder appends [k - 1] zero
+    flush bits so the trellis terminates in the all-zero state; the
+    decoder exploits that.
+
+    Complexity: encode O(n), decode O(n * 2^(k-1)). *)
+
+type t
+
+val create : ?constraint_length:int -> ?generators:int * int -> unit -> t
+(** Defaults: [constraint_length = 7], [generators = (0o171, 0o133)].
+    Requires [2 <= constraint_length <= 12] and generators that fit in
+    [constraint_length] bits. *)
+
+val default : t
+
+val encode : t -> Bitbuf.t -> Bitbuf.t
+(** Output length is [2 * (input_length + constraint_length - 1)]. *)
+
+val decode : t -> Bitbuf.t -> data_bits:int -> Bitbuf.t
+(** Maximum-likelihood (minimum Hamming distance) decode of a possibly
+    corrupted code sequence; returns the recovered [data_bits] message
+    bits. Raises [Invalid_argument] if the coded length does not equal
+    [2 * (data_bits + constraint_length - 1)]. *)
+
+val coded_bits : t -> data_bits:int -> int
+
+val free_distance_lower_bound : t -> int
+(** Conservative bound used by tests: the default code has free distance
+    10, so any 4 or fewer channel errors in a block are always
+    corrected. For non-default parameters this returns a safe small
+    value (3). *)

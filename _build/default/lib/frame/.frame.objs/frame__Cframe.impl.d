@@ -1,0 +1,1 @@
+lib/frame/cframe.ml: Format List String

@@ -1,0 +1,1 @@
+lib/frame/codec.ml: Bytes Cframe Crc Hframe Iframe Int32 Int64 List Printf String Wire

@@ -1,0 +1,1 @@
+lib/frame/codec.mli: Bytes Wire

@@ -1,0 +1,1 @@
+lib/frame/crc.ml: Array Bytes Char Int32 Lazy

@@ -1,0 +1,1 @@
+lib/frame/crc.mli: Bytes

@@ -1,0 +1,1 @@
+lib/frame/iframe.ml: Format String

@@ -1,0 +1,1 @@
+lib/frame/seqnum.ml: Format

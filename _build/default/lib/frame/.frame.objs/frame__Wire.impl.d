@@ -1,0 +1,1 @@
+lib/frame/wire.ml: Cframe Hframe Iframe List String

@@ -1,0 +1,1 @@
+lib/frame/wire.mli: Cframe Format Hframe Iframe

@@ -1,0 +1,157 @@
+type error =
+  | Truncated
+  | Unknown_tag of int
+  | Header_corrupt
+  | Payload_corrupt of { seq : int }
+  | Control_corrupt
+
+let error_to_string = function
+  | Truncated -> "truncated frame"
+  | Unknown_tag t -> Printf.sprintf "unknown frame tag 0x%02x" t
+  | Header_corrupt -> "header CRC mismatch"
+  | Payload_corrupt { seq } -> Printf.sprintf "payload CRC mismatch (seq=%d)" seq
+  | Control_corrupt -> "control frame CRC mismatch"
+
+let tag_iframe = 0x01
+
+let tag_checkpoint = 0x02
+
+let tag_request_nak = 0x03
+
+let tag_hdlc = 0x04
+
+let put_u8 b pos v = Bytes.set_uint8 b pos v
+
+let put_u16 b pos v = Bytes.set_uint16_be b pos v
+
+let put_u32 b pos v = Bytes.set_int32_be b pos (Int32.of_int v)
+
+let put_i32 b pos v = Bytes.set_int32_be b pos v
+
+let put_f64 b pos v = Bytes.set_int64_be b pos (Int64.bits_of_float v)
+
+let get_u8 b pos = Bytes.get_uint8 b pos
+
+let get_u16 b pos = Bytes.get_uint16_be b pos
+
+let get_u32 b pos = Int32.to_int (Bytes.get_int32_be b pos) land 0xFFFFFFFF
+
+let get_i32 b pos = Bytes.get_int32_be b pos
+
+let get_f64 b pos = Int64.float_of_bits (Bytes.get_int64_be b pos)
+
+let encode frame =
+  let size = Wire.size_bytes frame in
+  let b = Bytes.create size in
+  (match frame with
+  | Wire.Data i ->
+      let len = String.length i.Iframe.payload in
+      put_u8 b 0 tag_iframe;
+      put_u32 b 1 i.Iframe.seq;
+      put_u16 b 5 len;
+      put_u16 b 7 (Crc.crc16 b ~pos:0 ~len:7);
+      Bytes.blit_string i.Iframe.payload 0 b 9 len;
+      put_i32 b (9 + len) (Crc.crc32 b ~pos:9 ~len)
+  | Wire.Control (Cframe.Checkpoint c) ->
+      let n = List.length c.Cframe.naks in
+      put_u8 b 0 tag_checkpoint;
+      let flags =
+        (if c.Cframe.stop_go then 1 else 0) lor if c.Cframe.enforced then 2 else 0
+      in
+      put_u8 b 1 flags;
+      put_u32 b 2 c.Cframe.cp_seq;
+      put_f64 b 6 c.Cframe.issue_time;
+      put_u32 b 14 c.Cframe.next_expected;
+      put_u16 b 18 n;
+      List.iteri (fun i s -> put_u32 b (20 + (4 * i)) s) c.Cframe.naks;
+      let body = 20 + (4 * n) in
+      put_u16 b body (Crc.crc16 b ~pos:0 ~len:body)
+  | Wire.Control (Cframe.Request_nak { issue_time }) ->
+      put_u8 b 0 tag_request_nak;
+      put_f64 b 1 issue_time;
+      put_u16 b 9 (Crc.crc16 b ~pos:0 ~len:9)
+  | Wire.Hdlc_control h ->
+      put_u8 b 0 tag_hdlc;
+      let kind =
+        match h.Hframe.kind with Hframe.Rr -> 0 | Hframe.Rej -> 1 | Hframe.Srej -> 2
+      in
+      put_u8 b 1 kind;
+      put_u32 b 2 h.Hframe.nr;
+      put_u8 b 6 (if h.Hframe.pf then 1 else 0);
+      put_u16 b 7 (Crc.crc16 b ~pos:0 ~len:7));
+  b
+
+let decode_iframe b =
+  if Bytes.length b < 9 then Error Truncated
+  else begin
+    let hcrc = get_u16 b 7 in
+    if Crc.crc16 b ~pos:0 ~len:7 <> hcrc then Error Header_corrupt
+    else begin
+      let seq = get_u32 b 1 in
+      let len = get_u16 b 5 in
+      if Bytes.length b < 9 + len + 4 then Error Truncated
+      else begin
+        let pcrc = get_i32 b (9 + len) in
+        if Crc.crc32 b ~pos:9 ~len <> pcrc then Error (Payload_corrupt { seq })
+        else
+          Ok (Wire.Data (Iframe.create ~seq ~payload:(Bytes.sub_string b 9 len)))
+      end
+    end
+  end
+
+let decode_checkpoint b =
+  if Bytes.length b < 22 then Error Truncated
+  else begin
+    let n = get_u16 b 18 in
+    let body = 20 + (4 * n) in
+    if Bytes.length b < body + 2 then Error Truncated
+    else if Crc.crc16 b ~pos:0 ~len:body <> get_u16 b body then
+      Error Control_corrupt
+    else begin
+      let flags = get_u8 b 1 in
+      let naks = List.init n (fun i -> get_u32 b (20 + (4 * i))) in
+      Ok
+        (Wire.Control
+           (Cframe.checkpoint ~cp_seq:(get_u32 b 2) ~issue_time:(get_f64 b 6)
+              ~stop_go:(flags land 1 <> 0)
+              ~enforced:(flags land 2 <> 0)
+              ~next_expected:(get_u32 b 14) ~naks))
+    end
+  end
+
+let decode_request_nak b =
+  if Bytes.length b < 11 then Error Truncated
+  else if Crc.crc16 b ~pos:0 ~len:9 <> get_u16 b 9 then Error Control_corrupt
+  else Ok (Wire.Control (Cframe.request_nak ~issue_time:(get_f64 b 1)))
+
+let decode_hdlc b =
+  if Bytes.length b < 9 then Error Truncated
+  else if Crc.crc16 b ~pos:0 ~len:7 <> get_u16 b 7 then Error Control_corrupt
+  else begin
+    match get_u8 b 1 with
+    | (0 | 1 | 2) as k ->
+        let kind =
+          match k with 0 -> Hframe.Rr | 1 -> Hframe.Rej | _ -> Hframe.Srej
+        in
+        Ok
+          (Wire.Hdlc_control
+             (Hframe.create ~kind ~nr:(get_u32 b 2) ~pf:(get_u8 b 6 <> 0)))
+    | _ -> Error Control_corrupt
+  end
+
+let decode b =
+  if Bytes.length b < 1 then Error Truncated
+  else begin
+    match get_u8 b 0 with
+    | t when t = tag_iframe -> decode_iframe b
+    | t when t = tag_checkpoint -> decode_checkpoint b
+    | t when t = tag_request_nak -> decode_request_nak b
+    | t when t = tag_hdlc -> decode_hdlc b
+    | t -> Error (Unknown_tag t)
+  end
+
+let flip_bit b i =
+  if i < 0 || i >= 8 * Bytes.length b then
+    invalid_arg "Codec.flip_bit: bit index out of range";
+  let byte = i / 8 and bit = 7 - (i mod 8) in
+  Bytes.set_uint8 b byte (Bytes.get_uint8 b byte lxor (1 lsl bit))

@@ -1,0 +1,32 @@
+(** Wire serialisation of {!Wire.t} frames.
+
+    [encode] produces the byte layouts documented in {!Wire}; [decode]
+    validates structure and checksums. The I-frame header carries its own
+    CRC-16 separate from the payload CRC-32: a receiver can then identify
+    the sequence number of a frame whose payload is corrupted — the
+    mechanism that lets the LAMS-DLC receiver NAK a specific frame. The
+    decoder reports this as [Payload_corrupt { seq }].
+
+    Integers are big-endian. Floats travel as their IEEE-754 bit
+    patterns. *)
+
+type error =
+  | Truncated  (** fewer bytes than the layout requires *)
+  | Unknown_tag of int
+  | Header_corrupt  (** header CRC mismatch: frame unidentifiable *)
+  | Payload_corrupt of { seq : int }
+      (** I-frame header valid but payload CRC-32 failed *)
+  | Control_corrupt  (** control-frame CRC mismatch *)
+
+val error_to_string : error -> string
+
+val encode : Wire.t -> Bytes.t
+(** Exact size [Wire.size_bytes]. *)
+
+val decode : Bytes.t -> (Wire.t, error) result
+(** Inverse of [encode] on uncorrupted input; classifies corrupted
+    input as one of the [error] cases. *)
+
+val flip_bit : Bytes.t -> int -> unit
+(** [flip_bit b i] flips the [i]-th bit (0-based, MSB-first within each
+    byte) in place. Used by bit-level channel simulation and tests. *)

@@ -1,0 +1,60 @@
+(* CRC-16/CCITT-FALSE: poly 0x1021, init 0xffff, no reflection, no xorout.
+   CRC-32/IEEE: reflected poly 0xEDB88320, init 0xffffffff, xorout
+   0xffffffff. Both table-driven. *)
+
+let crc16_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (n lsl 8) in
+         for _ = 0 to 7 do
+           if !c land 0x8000 <> 0 then c := (!c lsl 1) lxor 0x1021
+           else c := !c lsl 1
+         done;
+         !c land 0xffff))
+
+let crc16 ?(init = 0xffff) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc.crc16: slice out of bounds";
+  let table = Lazy.force crc16_table in
+  let crc = ref init in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.get b i) in
+    crc := ((!crc lsl 8) lxor table.(((!crc lsr 8) lxor byte) land 0xff)) land 0xffff
+  done;
+  !crc
+
+let crc16_string s =
+  let b = Bytes.of_string s in
+  crc16 b ~pos:0 ~len:(Bytes.length b)
+
+let crc32_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?init b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc.crc32: slice out of bounds";
+  let table = Lazy.force crc32_table in
+  let start =
+    match init with
+    | None -> 0xFFFFFFFFl
+    | Some prev -> Int32.logxor prev 0xFFFFFFFFl
+  in
+  let crc = ref start in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.get b i) in
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int byte)) 0xffl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let crc32_string s =
+  let b = Bytes.of_string s in
+  crc32 b ~pos:0 ~len:(Bytes.length b)

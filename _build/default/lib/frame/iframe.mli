@@ -1,0 +1,17 @@
+(** Information frames (I-frames).
+
+    An I-frame carries opaque user bits and a sequence number [N(S)].
+    LAMS-DLC layering keeps the DLC payload opaque: network-layer
+    addressing and resequencing metadata live inside [payload] (see the
+    [netstack] library), so the same frame type serves both protocols
+    under test. *)
+
+type t = { seq : int; payload : string }
+
+val create : seq:int -> payload:string -> t
+
+val payload_bytes : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type space = { bits : int; modulus : int; mask : int }
+
+let space ~bits =
+  if bits < 1 || bits > 30 then invalid_arg "Seqnum.space: bits must be in 1..30";
+  let modulus = 1 lsl bits in
+  { bits; modulus; mask = modulus - 1 }
+
+let modulus sp = sp.modulus
+
+let bits sp = sp.bits
+
+let zero _sp = 0
+
+let succ sp x = (x + 1) land sp.mask
+
+let add sp a b = (a + b) land sp.mask
+
+let sub sp a b = (a - b) land sp.mask
+
+let in_window sp ~lo ~size x =
+  if size < 0 || size > sp.modulus then
+    invalid_arg "Seqnum.in_window: bad window size";
+  sub sp x lo < size
+
+let compare_in_window sp ~base a b = compare (sub sp a base) (sub sp b base)
+
+let validate sp x = x >= 0 && x < sp.modulus
+
+let pp sp ppf x = Format.fprintf ppf "%d (mod %d)" x sp.modulus

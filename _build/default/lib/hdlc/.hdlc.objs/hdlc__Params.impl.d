@@ -1,0 +1,1 @@
+lib/hdlc/params.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/hdlc/params.mli: Format

@@ -1,0 +1,1 @@
+lib/hdlc/receiver.ml: Channel Dlc Frame Hashtbl Int Logs Params Set Sim String

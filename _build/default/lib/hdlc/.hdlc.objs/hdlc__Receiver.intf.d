@@ -1,0 +1,1 @@
+lib/hdlc/receiver.mli: Channel Dlc Params Sim

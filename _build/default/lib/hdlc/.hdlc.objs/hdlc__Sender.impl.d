@@ -1,0 +1,1 @@
+lib/hdlc/sender.ml: Channel Dlc Float Frame Hashtbl Logs Params Queue Sim Stats

@@ -1,0 +1,1 @@
+lib/hdlc/sender.mli: Channel Dlc Params Sim

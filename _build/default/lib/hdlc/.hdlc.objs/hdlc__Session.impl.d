@@ -1,0 +1,1 @@
+lib/hdlc/session.ml: Channel Dlc Params Receiver Sender Sim Stats

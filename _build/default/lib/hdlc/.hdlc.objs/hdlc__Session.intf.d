@@ -1,0 +1,1 @@
+lib/hdlc/session.mli: Channel Dlc Params Receiver Sender Sim

@@ -1,0 +1,51 @@
+type mode = Selective_repeat | Go_back_n
+
+type t = {
+  mode : mode;
+  stutter : bool;
+  seq_bits : int;
+  window : int;
+  t_out : float;
+  t_proc : float;
+  send_buffer_capacity : int;
+  max_retries : int;
+}
+
+let default =
+  {
+    mode = Selective_repeat;
+    stutter = false;
+    seq_bits = 7;
+    window = 63;
+    t_out = 50e-3;
+    t_proc = 10e-6;
+    send_buffer_capacity = 1_000_000;
+    max_retries = 10;
+  }
+
+let modulus t = 1 lsl t.seq_bits
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.seq_bits < 1 || t.seq_bits > 30 then
+    err "seq_bits must be in 1..30 (got %d)" t.seq_bits
+  else if t.window < 1 then err "window must be >= 1 (got %d)" t.window
+  else if t.mode = Selective_repeat && t.window > modulus t / 2 then
+    err "SR window %d exceeds modulus/2 = %d" t.window (modulus t / 2)
+  else if t.mode = Go_back_n && t.window > modulus t - 1 then
+    err "GBN window %d exceeds modulus-1 = %d" t.window (modulus t - 1)
+  else if t.t_out <= 0. then err "t_out must be > 0 (got %g)" t.t_out
+  else if t.t_proc < 0. then err "t_proc must be >= 0 (got %g)" t.t_proc
+  else if t.send_buffer_capacity < 1 then
+    err "send_buffer_capacity must be >= 1 (got %d)" t.send_buffer_capacity
+  else if t.max_retries < 1 then
+    err "max_retries must be >= 1 (got %d)" t.max_retries
+  else Ok t
+
+let mode_name = function Selective_repeat -> "SR" | Go_back_n -> "GBN"
+
+let pp ppf t =
+  Format.fprintf ppf "%s%s W=%d M=%d t_out=%gs t_proc=%gs sbuf=%d N2=%d"
+    (mode_name t.mode)
+    (if t.stutter then "+ST" else "")
+    t.window (modulus t) t.t_out t.t_proc t.send_buffer_capacity t.max_retries

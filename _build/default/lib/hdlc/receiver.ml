@@ -1,0 +1,184 @@
+let src = Logs.Src.create "hdlc.receiver" ~doc:"HDLC receiver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  sp : Frame.Seqnum.space;
+  reverse : Channel.Link.t;
+  metrics : Dlc.Metrics.t;
+  mutable v_r : int;
+  buffer : (int, string) Hashtbl.t;  (* out-of-order frames, SR mode *)
+  mutable srej_outstanding : Int_set.t;
+  mutable highest_seen : int;  (* one past the newest identified seq *)
+  mutable rej_armed : bool;  (* GBN: one REJ per gap event *)
+  mutable on_deliver : (payload:string -> seq:int -> unit) option;
+  mutable stopped : bool;
+}
+
+let create engine ~params ~reverse ~metrics =
+  {
+    engine;
+    params;
+    sp = Frame.Seqnum.space ~bits:params.Params.seq_bits;
+    reverse;
+    metrics;
+    v_r = 0;
+    buffer = Hashtbl.create 256;
+    srej_outstanding = Int_set.empty;
+    highest_seen = 0;
+    rej_armed = true;
+    on_deliver = None;
+    stopped = false;
+  }
+
+let set_on_deliver t f = t.on_deliver <- Some f
+
+let v_r t = t.v_r
+
+let buffered t = Hashtbl.length t.buffer
+
+let stop t = t.stopped <- true
+
+let send_control t ~kind ~nr ~pf =
+  t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
+  (match kind with
+  | Frame.Hframe.Rej | Frame.Hframe.Srej ->
+      t.metrics.Dlc.Metrics.naks_sent <- t.metrics.Dlc.Metrics.naks_sent + 1
+  | Frame.Hframe.Rr -> ());
+  Channel.Link.send t.reverse
+    (Frame.Wire.Hdlc_control (Frame.Hframe.create ~kind ~nr ~pf))
+
+let deliver t ~payload ~seq =
+  t.metrics.Dlc.Metrics.delivered <- t.metrics.Dlc.Metrics.delivered + 1;
+  t.metrics.Dlc.Metrics.payload_bytes_delivered <-
+    t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
+  t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
+  match t.on_deliver with None -> () | Some f -> f ~payload ~seq
+
+(* In-order delivery plus draining of buffered successors. *)
+let advance t ~payload =
+  deliver t ~payload ~seq:t.v_r;
+  t.srej_outstanding <- Int_set.remove t.v_r t.srej_outstanding;
+  t.v_r <- Frame.Seqnum.succ t.sp t.v_r;
+  let rec drain () =
+    match Hashtbl.find_opt t.buffer t.v_r with
+    | Some payload ->
+        Hashtbl.remove t.buffer t.v_r;
+        deliver t ~payload ~seq:t.v_r;
+        t.srej_outstanding <- Int_set.remove t.v_r t.srej_outstanding;
+        t.v_r <- Frame.Seqnum.succ t.sp t.v_r;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* highest_seen is meaningful only inside the current window *)
+  if Frame.Seqnum.sub t.sp t.highest_seen t.v_r > t.params.Params.window then
+    t.highest_seen <- t.v_r;
+  Dlc.Metrics.sample_recv_buffer t.metrics (Hashtbl.length t.buffer);
+  t.rej_armed <- true;
+  (* cumulative acknowledgement of the new in-order point *)
+  send_control t ~kind:Frame.Hframe.Rr ~nr:t.v_r ~pf:false
+
+let in_recv_window t seq =
+  Frame.Seqnum.in_window t.sp ~lo:t.v_r ~size:t.params.Params.window seq
+
+let request_srej t seq =
+  if not (Int_set.mem seq t.srej_outstanding) then begin
+    t.srej_outstanding <- Int_set.add seq t.srej_outstanding;
+    send_control t ~kind:Frame.Hframe.Srej ~nr:seq ~pf:false
+  end
+
+(* Track the newest frame identified inside the window so a poll can
+   re-request everything still missing. *)
+let note_seen t seq =
+  let next = Frame.Seqnum.succ t.sp seq in
+  if Frame.Seqnum.sub t.sp next t.v_r > Frame.Seqnum.sub t.sp t.highest_seen t.v_r
+  then t.highest_seen <- next
+
+let on_good_frame t seq payload =
+  if seq = t.v_r then begin
+    note_seen t seq;
+    advance t ~payload
+  end
+  else if in_recv_window t seq then begin
+    note_seen t seq;
+    match t.params.Params.mode with
+    | Params.Selective_repeat ->
+        if not (Hashtbl.mem t.buffer seq) then begin
+          Hashtbl.replace t.buffer seq payload;
+          Dlc.Metrics.sample_recv_buffer t.metrics (Hashtbl.length t.buffer)
+        end;
+        (* every missing frame between V(R) and seq needs an SREJ *)
+        let missing = ref t.v_r in
+        while Frame.Seqnum.sub t.sp seq !missing > 0 do
+          if not (Hashtbl.mem t.buffer !missing) then request_srej t !missing;
+          missing := Frame.Seqnum.succ t.sp !missing
+        done
+    | Params.Go_back_n ->
+        (* discard and roll the sender back, once per gap event *)
+        if t.rej_armed then begin
+          t.rej_armed <- false;
+          send_control t ~kind:Frame.Hframe.Rej ~nr:t.v_r ~pf:false
+        end
+  end
+  else begin
+    (* below the window: duplicate retransmission after a lost RR;
+       dropped (already delivered) and re-acknowledged *)
+    t.metrics.Dlc.Metrics.duplicate_arrivals <-
+      t.metrics.Dlc.Metrics.duplicate_arrivals + 1;
+    send_control t ~kind:Frame.Hframe.Rr ~nr:t.v_r ~pf:false
+  end
+
+let on_corrupt_frame t seq =
+  (* Header survived: the receiver knows which frame failed. *)
+  if in_recv_window t seq then begin
+    note_seen t seq;
+    match t.params.Params.mode with
+    | Params.Selective_repeat -> request_srej t seq
+    | Params.Go_back_n ->
+        if t.rej_armed then begin
+          t.rej_armed <- false;
+          send_control t ~kind:Frame.Hframe.Rej ~nr:t.v_r ~pf:false
+        end
+  end
+
+(* Poll handling: answer with the cumulative state and re-request every
+   frame still missing below the newest one seen — HDLC "checkpoint
+   recovery" (§2.3 of the paper; [20] in its references). *)
+let on_poll t =
+  (match t.params.Params.mode with
+  | Params.Selective_repeat ->
+      let missing = ref t.v_r in
+      while Frame.Seqnum.sub t.sp t.highest_seen !missing > 0 do
+        if not (Hashtbl.mem t.buffer !missing) then begin
+          (* allow a fresh SREJ even if one was already sent: the poll
+             implies the sender is stuck, so the SREJ likely got lost *)
+          t.srej_outstanding <- Int_set.remove !missing t.srej_outstanding;
+          request_srej t !missing
+        end;
+        missing := Frame.Seqnum.succ t.sp !missing
+      done
+  | Params.Go_back_n -> ());
+  send_control t ~kind:Frame.Hframe.Rr ~nr:t.v_r ~pf:true
+
+let on_rx t (rx : Channel.Link.rx) =
+  if not t.stopped then begin
+    match (rx.Channel.Link.frame, rx.Channel.Link.status) with
+    | Frame.Wire.Data i, Channel.Link.Rx_ok ->
+        on_good_frame t i.Frame.Iframe.seq i.Frame.Iframe.payload
+    | Frame.Wire.Data i, Channel.Link.Rx_payload_corrupt ->
+        on_corrupt_frame t i.Frame.Iframe.seq
+    | Frame.Wire.Data _, Channel.Link.Rx_header_corrupt ->
+        (* unidentifiable: recovered by the sender's timeout *)
+        ()
+    | Frame.Wire.Hdlc_control h, Channel.Link.Rx_ok ->
+        (* a poll: answer immediately with the F bit *)
+        if h.Frame.Hframe.pf then on_poll t
+    | Frame.Wire.Hdlc_control _, _ -> ()
+    | Frame.Wire.Control _, _ ->
+        Log.warn (fun m -> m "LAMS control frame on an HDLC link; ignored")
+  end

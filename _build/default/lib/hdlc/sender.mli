@@ -1,0 +1,46 @@
+(** HDLC sender half (SR or GBN per {!Params.mode}).
+
+    Mechanics implemented (following the paper's §4 description of the
+    baseline):
+
+    - sliding window of [window] unacknowledged frames; sequence numbers
+      are cyclic and {e reused} on retransmission (in-sequence constraint);
+    - the frame that exhausts the window carries the P bit, soliciting an
+      immediate RR/REJ response — HDLC checkpointing;
+    - cumulative RR(n) acknowledges everything cyclically below [n];
+    - SREJ(n) selectively retransmits frame [n] (SR mode); REJ(n) rolls
+      transmission back to [n] (GBN mode);
+    - a per-frame retransmission timer ([t_out]) drives timeout recovery;
+      timeout retransmissions also set the P bit;
+    - a frame retried more than [max_retries] times (N2) declares the
+      link failed. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  params:Params.t ->
+  forward:Channel.Link.t ->
+  metrics:Dlc.Metrics.t ->
+  t
+
+val offer : t -> string -> bool
+
+val on_rx : t -> Channel.Link.rx -> unit
+(** Feed reverse-direction arrivals (RR/REJ/SREJ). *)
+
+val backlog : t -> int
+
+val in_window : t -> int
+(** Currently unacknowledged frames. *)
+
+val window_stalled : t -> bool
+(** Window full: transmission blocked awaiting acknowledgement. *)
+
+val failed : t -> bool
+
+val set_on_failure : t -> (unit -> unit) -> unit
+
+val offer_time_of_seq : t -> int -> float option
+
+val stop : t -> unit

@@ -1,0 +1,16 @@
+(** A running HDLC association (SR or GBN) over a full-duplex link,
+    presenting the protocol-agnostic {!Dlc.Session.t} face. *)
+
+type t
+
+val create : Sim.Engine.t -> params:Params.t -> duplex:Channel.Duplex.t -> t
+(** Raises [Invalid_argument] when the parameters fail
+    {!Params.validate}. *)
+
+val sender : t -> Sender.t
+
+val receiver : t -> Receiver.t
+
+val metrics : t -> Dlc.Metrics.t
+
+val as_dlc : t -> Dlc.Session.t

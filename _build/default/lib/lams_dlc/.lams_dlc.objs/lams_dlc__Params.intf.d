@@ -1,0 +1,1 @@
+lib/lams_dlc/params.mli: Format

@@ -1,0 +1,1 @@
+lib/lams_dlc/receiver.ml: Channel Dlc Frame Int List Logs Params Set Sim String

@@ -1,0 +1,1 @@
+lib/lams_dlc/receiver.mli: Channel Dlc Params Sim

@@ -1,0 +1,1 @@
+lib/lams_dlc/sender.ml: Channel Dlc Float Frame Hashtbl List Logs Params Queue Sim Stats

@@ -1,0 +1,1 @@
+lib/lams_dlc/sender.mli: Channel Dlc Params Sim

@@ -1,0 +1,1 @@
+lib/lams_dlc/session.ml: Channel Dlc Params Receiver Sender Sim Stats

@@ -1,0 +1,1 @@
+lib/lams_dlc/session.mli: Channel Dlc Params Receiver Sender Sim

@@ -1,0 +1,61 @@
+(** LAMS-DLC protocol parameters (paper §3).
+
+    The two knobs the paper discusses at length are the checkpoint
+    interval [w_cp] (written {i W_cp} or {i I_cp}) and the cumulation
+    depth [c_depth]: erroneous frames are re-advertised in [c_depth]
+    consecutive checkpoints, so recovery survives up to [c_depth - 1]
+    consecutive checkpoint losses, and burst tolerance requires
+    [c_depth * w_cp > mean burst length] (§3.3). *)
+
+type t = {
+  w_cp : float;  (** checkpoint interval, seconds. Must be > 0. *)
+  c_depth : int;  (** cumulation depth, >= 1 *)
+  t_proc : float;  (** frame/command processing time, seconds, >= 0 *)
+  send_buffer_capacity : int;
+      (** max unreleased frames held by the sender; further offers are
+          refused. The paper's transparent buffer size B_LAMS predicts
+          the occupancy this needs to stay below. *)
+  recv_high_watermark : int;
+      (** receiver queue length at which Stop-Go is set to Stop *)
+  recv_low_watermark : int;  (** queue length at which it returns to Go *)
+  recv_drain_rate : float option;
+      (** receiving-side upper-layer drain rate, frames/second; [None]
+          models the paper's transparent receiving buffer (frames leave
+          after [t_proc]). Finite values exercise flow control. *)
+  rate_decrease_factor : float;
+      (** multiplier applied to the sending rate on each Stop detection
+          (paper §3.4 "decreases the sending rate by some predefined
+          value"); in (0, 1). *)
+  rate_increase_step : float;
+      (** additive recovery of the rate factor per Go checkpoint *)
+  min_rate_factor : float;  (** floor for the rate factor, > 0 *)
+  request_nak_retries : int;
+      (** how many times the sender re-issues Request-NAK (on failure
+          timeout or when a checkpoint shows the link is back) before
+          declaring failure. The paper's protocol is single-shot (0);
+          the default allows 3 so that an outage longer than the failure
+          window but shorter than the link lifetime still recovers. *)
+  link_lifetime_end : float option;
+      (** absolute simulated time after which a recovery is considered
+          unreachable (paper: "provided that the expected response time
+          is within the remaining link lifetime") *)
+  coverage_margin : float;
+      (** slack added to a frame's predicted arrival before a checkpoint
+          is considered to cover it; absorbs processing jitter. *)
+}
+
+val default : t
+(** [w_cp] = 5 ms, [c_depth] = 3, [t_proc] = 10 us, generous buffers,
+    halve-on-stop / +0.1-on-go rate control, 3 Request-NAK retries. *)
+
+val validate : t -> (t, string) result
+(** Check all constraints; returns the value unchanged when valid. *)
+
+val checkpoint_timeout : t -> float
+(** [c_depth * w_cp] — the sender-side silence threshold (§3.2). *)
+
+val resolving_period : t -> rtt:float -> float
+(** Paper §3.3: [R + w_cp/2 + c_depth * w_cp]; bounds the holding time of
+    any frame and hence the numbering size. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+module Int_set = Set.Make (Int)
+
+let src = Logs.Src.create "lams_dlc.receiver" ~doc:"LAMS-DLC receiver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  reverse : Channel.Link.t;
+  metrics : Dlc.Metrics.t;
+  mutable next_expected : int;
+  mutable current_errors : Int_set.t;  (* erroneous seqs this interval *)
+  mutable history : Int_set.t list;  (* newest first, <= c_depth kept *)
+  mutable error_log : Int_set.t;
+      (* every erroneous seq ever reported. Regular checkpoints only
+         advertise the last c_depth intervals, but an Enforced-NAK must
+         cover the whole resolving period — which spans an outage of any
+         length (§3.2) — so nothing may be forgotten before an enforced
+         recovery has had a chance to replay it. Stale entries are
+         harmless: renumbering means the sender ignores seqs no longer
+         outstanding. *)
+  mutable cp_seq : int;
+  mutable queue_len : int;
+  mutable stop_state : bool;
+  mutable on_deliver : (payload:string -> seq:int -> unit) option;
+  mutable running : bool;
+  mutable checkpoints_sent : int;
+}
+
+(* --- receiving-buffer occupancy model ---------------------------------- *)
+
+(* Each arrival occupies the buffer until drained. With an unlimited upper
+   layer a frame leaves after [t_proc]; with [recv_drain_rate = Some r]
+   departures are spaced 1/r apart, so sustained arrival above r grows the
+   queue and trips the Stop-Go hysteresis. *)
+
+let service_time t =
+  match t.params.Params.recv_drain_rate with
+  | None -> t.params.Params.t_proc
+  | Some r -> 1. /. r
+
+let update_stop_go t =
+  if t.stop_state then begin
+    if t.queue_len <= t.params.Params.recv_low_watermark then
+      t.stop_state <- false
+  end
+  else if t.queue_len > t.params.Params.recv_high_watermark then
+    t.stop_state <- true
+
+let enqueue t =
+  t.queue_len <- t.queue_len + 1;
+  Dlc.Metrics.sample_recv_buffer t.metrics t.queue_len;
+  update_stop_go t;
+  let delay =
+    match t.params.Params.recv_drain_rate with
+    | None -> t.params.Params.t_proc
+    | Some _ -> float_of_int t.queue_len *. service_time t
+  in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun () ->
+         t.queue_len <- t.queue_len - 1;
+         update_stop_go t)
+      : Sim.Engine.event_id)
+
+(* --- checkpoint emission ------------------------------------------------ *)
+
+let cumulative_naks t = List.fold_left Int_set.union Int_set.empty t.history
+
+let send_checkpoint t ~enforced ~naks =
+  let cp =
+    Frame.Cframe.checkpoint ~cp_seq:t.cp_seq
+      ~issue_time:(Sim.Engine.now t.engine)
+      ~stop_go:t.stop_state ~enforced ~next_expected:t.next_expected
+      ~naks:(Int_set.elements naks)
+  in
+  t.cp_seq <- t.cp_seq + 1;
+  t.checkpoints_sent <- t.checkpoints_sent + 1;
+  t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
+  if not (Int_set.is_empty naks) then
+    t.metrics.Dlc.Metrics.naks_sent <- t.metrics.Dlc.Metrics.naks_sent + 1;
+  Channel.Link.send t.reverse (Frame.Wire.Control cp)
+
+(* Regular checkpoint: close the current interval, keep the last
+   [c_depth] intervals' errors, advertise their union. An erroneous frame
+   is therefore reported in exactly [c_depth] consecutive checkpoints. *)
+let regular_checkpoint t =
+  t.history <- t.current_errors :: t.history;
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.history <- take t.params.Params.c_depth t.history;
+  t.current_errors <- Int_set.empty;
+  send_checkpoint t ~enforced:false ~naks:(cumulative_naks t)
+
+let rec schedule_next_cp t =
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.params.Params.w_cp (fun () ->
+         if t.running then begin
+           regular_checkpoint t;
+           schedule_next_cp t
+         end)
+      : Sim.Engine.event_id)
+
+let create engine ~params ~reverse ~metrics =
+  let t =
+    {
+      engine;
+      params;
+      reverse;
+      metrics;
+      next_expected = 0;
+      current_errors = Int_set.empty;
+      history = [];
+      error_log = Int_set.empty;
+      cp_seq = 0;
+      queue_len = 0;
+      stop_state = false;
+      on_deliver = None;
+      running = true;
+      checkpoints_sent = 0;
+    }
+  in
+  schedule_next_cp t;
+  t
+
+let set_on_deliver t f = t.on_deliver <- Some f
+
+let mark_erroneous t seq =
+  t.current_errors <- Int_set.add seq t.current_errors;
+  t.error_log <- Int_set.add seq t.error_log
+
+let deliver t ~payload ~seq =
+  t.metrics.Dlc.Metrics.delivered <- t.metrics.Dlc.Metrics.delivered + 1;
+  t.metrics.Dlc.Metrics.payload_bytes_delivered <-
+    t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
+  t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
+  enqueue t;
+  match t.on_deliver with None -> () | Some f -> f ~payload ~seq
+
+let on_iframe t (i : Frame.Iframe.t) ~payload_ok =
+  let seq = i.Frame.Iframe.seq in
+  if seq < t.next_expected then begin
+    (* Cannot happen on a FIFO link with renumbered retransmissions;
+       tolerated as a duplicate for robustness. *)
+    Log.warn (fun m -> m "late/duplicate seq %d (expected >= %d)" seq t.next_expected);
+    t.metrics.Dlc.Metrics.duplicates <- t.metrics.Dlc.Metrics.duplicates + 1;
+    if payload_ok then deliver t ~payload:i.Frame.Iframe.payload ~seq
+  end
+  else begin
+    (* Frames skipped in the stream were lost or unidentifiable: NAK them. *)
+    for missing = t.next_expected to seq - 1 do
+      mark_erroneous t missing
+    done;
+    t.next_expected <- seq + 1;
+    if payload_ok then deliver t ~payload:i.Frame.Iframe.payload ~seq
+    else mark_erroneous t seq
+  end
+
+let on_rx t (rx : Channel.Link.rx) =
+  match (rx.Channel.Link.frame, rx.Channel.Link.status) with
+  | Frame.Wire.Data i, Channel.Link.Rx_ok -> on_iframe t i ~payload_ok:true
+  | Frame.Wire.Data i, Channel.Link.Rx_payload_corrupt ->
+      on_iframe t i ~payload_ok:false
+  | Frame.Wire.Data _, Channel.Link.Rx_header_corrupt ->
+      (* Unidentifiable arrival: recovered later via gap detection or the
+         checkpoint's next_expected field. *)
+      ()
+  | Frame.Wire.Control (Frame.Cframe.Request_nak _), Channel.Link.Rx_ok ->
+      (* Answer immediately with an Enforced-NAK listing every erroneous
+         frame of the whole resolving period — a Request-NAK means the
+         sender lost track, possibly across an outage longer than the
+         cumulation window, so the complete log is replayed. *)
+      send_checkpoint t ~enforced:true
+        ~naks:(Int_set.union t.error_log t.current_errors)
+  | Frame.Wire.Control _, _ ->
+      (* Corrupted control frames are detected and dropped. *)
+      ()
+  | Frame.Wire.Hdlc_control _, _ ->
+      Log.warn (fun m -> m "HDLC control frame on a LAMS-DLC link; ignored")
+
+let next_expected t = t.next_expected
+
+let queue_length t = t.queue_len
+
+let stop_state t = t.stop_state
+
+let checkpoints_sent t = t.checkpoints_sent
+
+let stop t = t.running <- false

@@ -1,0 +1,456 @@
+let src = Logs.Src.create "lams_dlc.sender" ~doc:"LAMS-DLC sender"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type pending = {
+  payload : string;
+  offer_time : float;
+  mutable first_tx_time : float;  (* nan until first transmitted *)
+}
+
+type outstanding_entry = {
+  pend : pending;
+  arrival_estimate : float;  (* predicted arrival at the receiver *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  forward : Channel.Link.t;
+  metrics : Dlc.Metrics.t;
+  mutable next_seq : int;
+  outstanding : (int, outstanding_entry) Hashtbl.t;
+  coverage : int Queue.t;  (* outstanding seqs in transmission order *)
+  fresh : pending Queue.t;  (* never-transmitted payloads *)
+  retx : pending Queue.t;  (* awaiting retransmission *)
+  mutable rate_factor : float;
+  mutable next_allowed_tx : float;
+  mutable wakeup_scheduled : bool;
+  mutable halted : bool;
+  mutable failed : bool;
+  mutable stopped : bool;
+  mutable request_nak_attempts : int;
+  mutable on_failure : (unit -> unit) option;
+  mutable span_peak : int;
+  mutable cp_timer : Sim.Timer.t option;
+  mutable failure_timer : Sim.Timer.t option;
+  mutable cp_timer_started : bool;
+  mutable got_first_cp : bool;
+  mutable last_request_nak : float;
+}
+
+let backlog t =
+  Queue.length t.fresh + Queue.length t.retx + Hashtbl.length t.outstanding
+
+let outstanding t = Hashtbl.length t.outstanding
+
+let outstanding_span_peak t = t.span_peak
+
+let rate_factor t = t.rate_factor
+
+let halted t = t.halted
+
+let failed t = t.failed
+
+let set_on_failure t f = t.on_failure <- Some f
+
+let offer_time_of_seq t seq =
+  match Hashtbl.find_opt t.outstanding seq with
+  | Some e -> Some e.pend.offer_time
+  | None -> None
+
+let sample_buffer t = Dlc.Metrics.sample_send_buffer t.metrics (backlog t)
+
+(* Track the numbering span actually in use: oldest live outstanding seq
+   (front of the coverage queue, skipping resolved ones) to next_seq-1. *)
+let update_span t =
+  let rec front () =
+    match Queue.peek_opt t.coverage with
+    | Some s when not (Hashtbl.mem t.outstanding s) ->
+        ignore (Queue.pop t.coverage : int);
+        front ()
+    | other -> other
+  in
+  match front () with
+  | None -> ()
+  | Some oldest ->
+      let span = t.next_seq - oldest in
+      if span > t.span_peak then t.span_peak <- span
+
+(* --- transmission ------------------------------------------------------- *)
+
+let rec maybe_send t =
+  if (not t.failed) && not t.stopped then begin
+    let next_pending =
+      (* retransmissions first; new frames only when not halted *)
+      if not (Queue.is_empty t.retx) then Some t.retx
+      else if (not t.halted) && not (Queue.is_empty t.fresh) then Some t.fresh
+      else None
+    in
+    match next_pending with
+    | None -> ()
+    | Some queue ->
+        if Channel.Link.busy t.forward then ()
+          (* the link's on_idle callback re-enters maybe_send *)
+        else begin
+          let now = Sim.Engine.now t.engine in
+          if now < t.next_allowed_tx then schedule_wakeup t
+          else begin
+            let is_retx = queue == t.retx in
+            let pend = Queue.pop queue in
+            transmit t pend ~is_retx
+          end
+        end
+  end
+
+and schedule_wakeup t =
+  if not t.wakeup_scheduled then begin
+    t.wakeup_scheduled <- true;
+    let delay = t.next_allowed_tx -. Sim.Engine.now t.engine in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay (fun () ->
+           t.wakeup_scheduled <- false;
+           maybe_send t)
+        : Sim.Engine.event_id)
+  end
+
+and transmit t pend ~is_retx =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let iframe = Frame.Iframe.create ~seq ~payload:pend.payload in
+  let wire = Frame.Wire.Data iframe in
+  let now = Sim.Engine.now t.engine in
+  let tx = Channel.Link.tx_time t.forward wire in
+  let departure = now +. tx in
+  let arrival_estimate =
+    departure +. Channel.Link.propagation_delay t.forward ~at:departure
+  in
+  if Float.is_nan pend.first_tx_time then pend.first_tx_time <- now;
+  Hashtbl.replace t.outstanding seq { pend; arrival_estimate };
+  Queue.add seq t.coverage;
+  update_span t;
+  if is_retx then
+    t.metrics.Dlc.Metrics.retransmissions <-
+      t.metrics.Dlc.Metrics.retransmissions + 1
+  else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
+  Channel.Link.send t.forward wire;
+  (* Stop-Go pacing: at full rate the next frame may follow back-to-back;
+     a reduced rate factor stretches the inter-frame spacing. *)
+  t.next_allowed_tx <- now +. (tx /. t.rate_factor);
+  (* the checkpoint timer must run from the first transmission so a link
+     that never produces a single checkpoint is also detected *)
+  start_cp_timer_if_needed t;
+  maybe_send t
+
+(* --- failure handling --------------------------------------------------- *)
+
+and declare_failure t =
+  if not t.failed then begin
+    t.failed <- true;
+    t.halted <- true;
+    t.metrics.Dlc.Metrics.failures_detected <-
+      t.metrics.Dlc.Metrics.failures_detected + 1;
+    (match t.cp_timer with Some timer -> Sim.Timer.stop timer | None -> ());
+    (match t.failure_timer with Some timer -> Sim.Timer.stop timer | None -> ());
+    Log.info (fun m -> m "link declared failed at %g" (Sim.Engine.now t.engine));
+    match t.on_failure with None -> () | Some f -> f ()
+  end
+
+and expected_response_time t =
+  (* request-NAK flight + immediate enforced-NAK flight + processing *)
+  let now = Sim.Engine.now t.engine in
+  let rtt = 2. *. Channel.Link.propagation_delay t.forward ~at:now in
+  let tx_req =
+    Channel.Link.tx_time t.forward
+      (Frame.Wire.Control (Frame.Cframe.request_nak ~issue_time:now))
+  in
+  rtt +. tx_req +. (2. *. t.params.Params.t_proc)
+
+and initiate_enforced_recovery t =
+  if (not t.failed) && not t.stopped then begin
+    let now = Sim.Engine.now t.engine in
+    t.last_request_nak <- now;
+    let response = expected_response_time t in
+    let unreachable =
+      match t.params.Params.link_lifetime_end with
+      | Some end_t -> now +. response > end_t
+      | None -> false
+    in
+    if unreachable then declare_failure t
+    else begin
+      t.halted <- true;
+      t.metrics.Dlc.Metrics.enforced_recoveries <-
+        t.metrics.Dlc.Metrics.enforced_recoveries + 1;
+      t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
+      Channel.Link.send t.forward
+        (Frame.Wire.Control (Frame.Cframe.request_nak ~issue_time:now));
+      let timeout = response +. Params.checkpoint_timeout t.params in
+      let timer =
+        match t.failure_timer with
+        | Some timer ->
+            Sim.Timer.set_duration timer timeout;
+            timer
+        | None ->
+            let timer =
+              Sim.Timer.create t.engine ~duration:timeout ~on_expire:(fun () ->
+                  on_failure_timeout t)
+            in
+            t.failure_timer <- Some timer;
+            timer
+      in
+      Sim.Timer.start timer
+    end
+  end
+
+and on_failure_timeout t =
+  if t.request_nak_attempts < t.params.Params.request_nak_retries then begin
+    t.request_nak_attempts <- t.request_nak_attempts + 1;
+    initiate_enforced_recovery t
+  end
+  else declare_failure t
+
+and start_cp_timer_if_needed t =
+  if not t.cp_timer_started then begin
+    t.cp_timer_started <- true;
+    (* The paper starts the checkpoint timer at the first checkpoint
+       reception; to also detect a link that is dead from the outset, the
+       timer runs from the first transmission with an allowance for the
+       first checkpoint's journey (one W_cp plus the one-way flight). *)
+    let first_allowance =
+      Channel.Link.propagation_delay t.forward ~at:(Sim.Engine.now t.engine)
+      +. t.params.Params.w_cp
+    in
+    let timer =
+      Sim.Timer.create t.engine
+        ~duration:(first_allowance +. Params.checkpoint_timeout t.params)
+        ~on_expire:(fun () -> initiate_enforced_recovery t)
+    in
+    t.cp_timer <- Some timer;
+    Sim.Timer.start timer
+  end
+
+(* --- checkpoint processing ---------------------------------------------- *)
+
+let release t seq entry =
+  Hashtbl.remove t.outstanding seq;
+  t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
+  Stats.Online.add t.metrics.Dlc.Metrics.holding_time
+    (Sim.Engine.now t.engine -. entry.pend.first_tx_time)
+
+let queue_retransmission t seq entry =
+  Hashtbl.remove t.outstanding seq;
+  Queue.add entry.pend t.retx
+
+let apply_stop_go t ~stop =
+  if stop then
+    t.rate_factor <-
+      Float.max t.params.Params.min_rate_factor
+        (t.rate_factor *. t.params.Params.rate_decrease_factor)
+  else
+    t.rate_factor <-
+      Float.min 1. (t.rate_factor +. t.params.Params.rate_increase_step)
+
+let on_checkpoint t (cp : Frame.Cframe.checkpoint) =
+  (* any checkpoint proves the link alive *)
+  start_cp_timer_if_needed t;
+  (match t.cp_timer with
+  | Some timer ->
+      if not t.got_first_cp then begin
+        t.got_first_cp <- true;
+        Sim.Timer.set_duration timer (Params.checkpoint_timeout t.params)
+      end;
+      Sim.Timer.reset timer
+  | None -> ());
+  (* A non-enforced checkpoint while awaiting an Enforced-NAK proves the
+     receiver alive — extend the failure deadline — and means our
+     Request-NAK (or its answer) was lost in an outage: re-issue it, at
+     most once per expected response time and within the retry budget. *)
+  (if
+     t.halted && (not t.failed)
+     && (not cp.Frame.Cframe.enforced)
+     &&
+     match t.failure_timer with
+     | Some timer -> Sim.Timer.is_running timer
+     | None -> false
+   then begin
+     (match t.failure_timer with
+     | Some timer -> Sim.Timer.reset timer
+     | None -> ());
+     let now = Sim.Engine.now t.engine in
+     if
+       now -. t.last_request_nak > expected_response_time t
+       && t.request_nak_attempts < t.params.Params.request_nak_retries
+     then begin
+       t.request_nak_attempts <- t.request_nak_attempts + 1;
+       t.last_request_nak <- now;
+       t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
+       Channel.Link.send t.forward
+         (Frame.Wire.Control (Frame.Cframe.request_nak ~issue_time:now))
+     end
+   end);
+  (* 1. An Enforced-NAK completes an enforced recovery: un-halt before
+     anything else so its (complete) NAK list governs the scan below. *)
+  if cp.Frame.Cframe.enforced && t.halted && not t.failed then begin
+    t.halted <- false;
+    t.request_nak_attempts <- 0;
+    match t.failure_timer with
+    | Some timer -> Sim.Timer.stop timer
+    | None -> ()
+  end;
+  (* 2. NAKed frames: retransmit on first notification only; a NAK whose
+     seq is no longer outstanding has already been handled (§3.2). *)
+  List.iter
+    (fun seq ->
+      match Hashtbl.find_opt t.outstanding seq with
+      | Some entry -> queue_retransmission t seq entry
+      | None -> ())
+    cp.Frame.Cframe.naks;
+  (* 3. Coverage: frames that must have reached the receiver before this
+     checkpoint was issued are resolved by it — released when the
+     receiver's next_expected moved past them, retransmitted when the
+     receiver never saw them (tail loss). Suspended while halted: a
+     regular checkpoint during enforced recovery may carry an already
+     expired NAK window, so releases must wait for the Enforced-NAK. *)
+  let changed = ref (cp.Frame.Cframe.naks <> []) in
+  if not t.halted then begin
+    let horizon =
+      cp.Frame.Cframe.issue_time -. t.params.Params.t_proc
+      -. t.params.Params.coverage_margin
+    in
+    let rec scan () =
+      match Queue.peek_opt t.coverage with
+      | None -> ()
+      | Some seq -> (
+          match Hashtbl.find_opt t.outstanding seq with
+          | None ->
+              ignore (Queue.pop t.coverage : int);
+              scan ()
+          | Some entry ->
+              if entry.arrival_estimate <= horizon then begin
+                ignore (Queue.pop t.coverage : int);
+                changed := true;
+                if seq < cp.Frame.Cframe.next_expected then release t seq entry
+                else queue_retransmission t seq entry;
+                scan ()
+              end)
+    in
+    scan ()
+  end;
+  if !changed then sample_buffer t;
+  (* 4. Flow control. *)
+  apply_stop_go t ~stop:cp.Frame.Cframe.stop_go;
+  maybe_send t
+
+let on_rx t (rx : Channel.Link.rx) =
+  match (rx.Channel.Link.frame, rx.Channel.Link.status) with
+  | Frame.Wire.Control (Frame.Cframe.Checkpoint cp), Channel.Link.Rx_ok ->
+      if not t.failed then on_checkpoint t cp
+  | Frame.Wire.Control (Frame.Cframe.Request_nak _), _ ->
+      Log.warn (fun m -> m "request-NAK arrived at a sender; ignored")
+  | Frame.Wire.Control _, _ ->
+      (* corrupted checkpoint: detected, dropped; cumulation covers it *)
+      ()
+  | Frame.Wire.Data _, _ ->
+      Log.warn (fun m -> m "I-frame arrived on the reverse path; ignored")
+  | Frame.Wire.Hdlc_control _, _ ->
+      Log.warn (fun m -> m "HDLC control frame on a LAMS-DLC link; ignored")
+
+let offer t payload =
+  if t.failed || t.stopped then false
+  else if backlog t >= t.params.Params.send_buffer_capacity then begin
+    t.metrics.Dlc.Metrics.refused <- t.metrics.Dlc.Metrics.refused + 1;
+    t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
+    false
+  end
+  else begin
+    let now = Sim.Engine.now t.engine in
+    t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
+    if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
+      t.metrics.Dlc.Metrics.first_offer_time <- now;
+    Queue.add { payload; offer_time = now; first_tx_time = nan } t.fresh;
+    sample_buffer t;
+    maybe_send t;
+    true
+  end
+
+let stop t =
+  t.stopped <- true;
+  (match t.cp_timer with Some timer -> Sim.Timer.stop timer | None -> ());
+  match t.failure_timer with Some timer -> Sim.Timer.stop timer | None -> ()
+
+type unresolved = {
+  payload : string;
+  offer_time : float;
+  verdict : [ `Not_delivered | `Suspicious ];
+}
+
+let drain_unresolved t =
+  (* oldest first: outstanding frames in transmission order (the coverage
+     queue), then queued retransmissions (all certainly undelivered),
+     then never-transmitted frames *)
+  let out = ref [] in
+  let rec drain_coverage () =
+    match Queue.take_opt t.coverage with
+    | None -> ()
+    | Some seq ->
+        (match Hashtbl.find_opt t.outstanding seq with
+        | Some entry ->
+            Hashtbl.remove t.outstanding seq;
+            out :=
+              {
+                payload = entry.pend.payload;
+                offer_time = entry.pend.offer_time;
+                verdict = `Suspicious;
+              }
+              :: !out
+        | None -> ());
+        drain_coverage ()
+  in
+  drain_coverage ();
+  Queue.iter
+    (fun (pend : pending) ->
+      out :=
+        { payload = pend.payload; offer_time = pend.offer_time; verdict = `Not_delivered }
+        :: !out)
+    t.retx;
+  Queue.clear t.retx;
+  Queue.iter
+    (fun (pend : pending) ->
+      out :=
+        { payload = pend.payload; offer_time = pend.offer_time; verdict = `Not_delivered }
+        :: !out)
+    t.fresh;
+  Queue.clear t.fresh;
+  sample_buffer t;
+  List.rev !out
+
+let create engine ~params ~forward ~metrics =
+  let t =
+    {
+      engine;
+      params;
+      forward;
+      metrics;
+      next_seq = 0;
+      outstanding = Hashtbl.create 1024;
+      coverage = Queue.create ();
+      fresh = Queue.create ();
+      retx = Queue.create ();
+      rate_factor = 1.;
+      next_allowed_tx = 0.;
+      wakeup_scheduled = false;
+      halted = false;
+      failed = false;
+      stopped = false;
+      request_nak_attempts = 0;
+      on_failure = None;
+      span_peak = 0;
+      cp_timer = None;
+      failure_timer = None;
+      cp_timer_started = false;
+      got_first_cp = false;
+      last_request_nak = neg_infinity;
+    }
+  in
+  Channel.Link.set_on_idle forward (fun () -> maybe_send t);
+  t

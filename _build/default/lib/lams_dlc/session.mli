@@ -1,0 +1,23 @@
+(** A running LAMS-DLC association over a full-duplex link.
+
+    Wires a {!Sender} and {!Receiver} onto the two directions of a
+    {!Channel.Duplex}, shares one {!Dlc.Metrics.t} between them, and
+    presents the protocol-agnostic {!Dlc.Session.t} face used by the
+    experiments and examples. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> params:Params.t -> duplex:Channel.Duplex.t -> t
+(** Raises [Invalid_argument] when the parameters fail
+    {!Params.validate}. *)
+
+val sender : t -> Sender.t
+
+val receiver : t -> Receiver.t
+
+val metrics : t -> Dlc.Metrics.t
+
+val as_dlc : t -> Dlc.Session.t
+(** The generic face. Its [offer]/[set_on_deliver]/[stop] drive this
+    session; delivery delay is recorded automatically. *)

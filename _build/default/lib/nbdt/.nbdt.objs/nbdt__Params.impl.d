@@ -1,0 +1,1 @@
+lib/nbdt/params.ml: Format Printf

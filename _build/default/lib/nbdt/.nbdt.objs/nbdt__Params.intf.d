@@ -1,0 +1,1 @@
+lib/nbdt/params.mli: Format

@@ -1,0 +1,1 @@
+lib/nbdt/receiver.ml: Channel Dlc Frame Int Logs Params Set Sim String

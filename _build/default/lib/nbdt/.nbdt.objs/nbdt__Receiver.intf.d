@@ -1,0 +1,1 @@
+lib/nbdt/receiver.mli: Channel Dlc Params Sim

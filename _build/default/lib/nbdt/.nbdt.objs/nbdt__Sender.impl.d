@@ -1,0 +1,1 @@
+lib/nbdt/sender.ml: Channel Dlc Float Frame Hashtbl List Logs Params Queue Sim Stats

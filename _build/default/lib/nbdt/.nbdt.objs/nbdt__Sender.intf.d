@@ -1,0 +1,1 @@
+lib/nbdt/sender.mli: Channel Dlc Params Sim

@@ -1,0 +1,1 @@
+lib/nbdt/session.ml: Channel Dlc Params Receiver Sender Sim Stats

@@ -1,0 +1,1 @@
+lib/nbdt/session.mli: Channel Dlc Params Receiver Sender Sim

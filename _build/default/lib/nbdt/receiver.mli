@@ -1,0 +1,29 @@
+(** NBDT receiver: out-of-order acceptance plus periodic completely
+    selective reports.
+
+    State is the pair (frontier, missing): every number below [frontier]
+    has either been received or sits in [missing]; nothing at or above
+    [frontier] has been identified yet. Reports reuse the checkpoint
+    wire format — [next_expected] carries the frontier and [naks] the
+    missing list (capped at [max_report_misses], oldest first). *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  params:Params.t ->
+  reverse:Channel.Link.t ->
+  metrics:Dlc.Metrics.t ->
+  t
+
+val on_rx : t -> Channel.Link.rx -> unit
+
+val set_on_deliver : t -> (payload:string -> seq:int -> unit) -> unit
+
+val frontier : t -> int
+
+val missing_count : t -> int
+
+val reports_sent : t -> int
+
+val stop : t -> unit

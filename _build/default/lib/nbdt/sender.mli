@@ -1,0 +1,43 @@
+(** NBDT sender.
+
+    Absolute numbering: each payload owns one number for life;
+    retransmissions reuse it. A report (frontier + missing list) releases
+    every outstanding number below the frontier that is not listed
+    missing, and queues the missing ones for retransmission.
+
+    - {b Continuous} mode streams new frames whenever the line is free,
+      retransmissions taking priority.
+    - {b Multiphase} mode alternates: a batch of [batch_size] new frames,
+      then only retransmissions until the batch is fully acknowledged,
+      then the next batch.
+
+    A single watchdog on the oldest outstanding frame supplies the
+    reliability floor the original protocol lacked (paper §1). *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  params:Params.t ->
+  forward:Channel.Link.t ->
+  metrics:Dlc.Metrics.t ->
+  t
+
+val offer : t -> string -> bool
+
+val on_rx : t -> Channel.Link.rx -> unit
+
+val backlog : t -> int
+
+val outstanding : t -> int
+
+val batches_completed : t -> int
+(** Multiphase phase count (0 in continuous mode). *)
+
+val failed : t -> bool
+
+val set_on_failure : t -> (unit -> unit) -> unit
+
+val offer_time_of_seq : t -> int -> float option
+
+val stop : t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  sender : Sender.t;
+  receiver : Receiver.t;
+  metrics : Dlc.Metrics.t;
+  name : string;
+  mutable user_deliver : (payload:string -> unit) option;
+}
+
+let create engine ~params ~duplex =
+  let params =
+    match Params.validate params with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Nbdt.Session.create: " ^ msg)
+  in
+  let metrics = Dlc.Metrics.create () in
+  let sender =
+    Sender.create engine ~params ~forward:duplex.Channel.Duplex.forward ~metrics
+  in
+  let receiver =
+    Receiver.create engine ~params ~reverse:duplex.Channel.Duplex.reverse
+      ~metrics
+  in
+  let name =
+    match params.Params.mode with
+    | Params.Multiphase -> "nbdt-multiphase"
+    | Params.Continuous -> "nbdt-continuous"
+  in
+  let t = { sender; receiver; metrics; name; user_deliver = None } in
+  Channel.Link.set_receiver duplex.Channel.Duplex.forward (fun rx ->
+      Receiver.on_rx receiver rx);
+  Channel.Link.set_receiver duplex.Channel.Duplex.reverse (fun rx ->
+      Sender.on_rx sender rx);
+  Receiver.set_on_deliver receiver (fun ~payload ~seq ->
+      (match Sender.offer_time_of_seq sender seq with
+      | Some t0 ->
+          Stats.Online.add metrics.Dlc.Metrics.delivery_delay
+            (Sim.Engine.now engine -. t0)
+      | None -> ());
+      match t.user_deliver with None -> () | Some f -> f ~payload);
+  t
+
+let sender t = t.sender
+
+let receiver t = t.receiver
+
+let metrics t = t.metrics
+
+let as_dlc t =
+  {
+    Dlc.Session.name = t.name;
+    offer = (fun payload -> Sender.offer t.sender payload);
+    set_on_deliver = (fun f -> t.user_deliver <- Some f);
+    sender_backlog = (fun () -> Sender.backlog t.sender);
+    stop =
+      (fun () ->
+        Sender.stop t.sender;
+        Receiver.stop t.receiver);
+    metrics = t.metrics;
+  }

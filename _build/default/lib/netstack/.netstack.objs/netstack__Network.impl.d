@@ -1,0 +1,1 @@
+lib/netstack/network.ml: Array Dlc Hashtbl List Logs Option Printf Queue Resequencer Sim Workload

@@ -1,0 +1,1 @@
+lib/netstack/network.mli: Dlc Resequencer Sim

@@ -1,0 +1,1 @@
+lib/netstack/resequencer.ml: Array Hashtbl String Workload

@@ -1,0 +1,1 @@
+lib/netstack/resequencer.mli: Workload

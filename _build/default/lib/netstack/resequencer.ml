@@ -1,0 +1,89 @@
+type slot = {
+  count : int;
+  parts : string option array;
+  mutable received : int;
+}
+
+type t = {
+  slots : (int * int, slot) Hashtbl.t;  (* keyed by (src, msg_id) *)
+  finished : (int * int, unit) Hashtbl.t;
+      (* completed messages; a straggler duplicate fragment arriving
+         after completion must not resurrect the message *)
+  mutable on_message : (src:int -> msg_id:int -> body:string -> unit) option;
+  mutable duplicates : int;
+  mutable completed : int;
+  mutable buffered : int;
+}
+
+let create () =
+  {
+    slots = Hashtbl.create 64;
+    finished = Hashtbl.create 64;
+    on_message = None;
+    duplicates = 0;
+    completed = 0;
+    buffered = 0;
+  }
+
+let set_on_message t f = t.on_message <- Some f
+
+let rec push t (f : Workload.Messages.fragment) =
+  let key = (f.Workload.Messages.src, f.Workload.Messages.msg_id) in
+  if Hashtbl.mem t.finished key then t.duplicates <- t.duplicates + 1
+  else push_live t f key
+
+and push_live t (f : Workload.Messages.fragment) key =
+  let slot =
+    match Hashtbl.find_opt t.slots key with
+    | Some s ->
+        if s.count <> f.Workload.Messages.count then begin
+          (* malformed or colliding message id; treat as duplicate noise *)
+          t.duplicates <- t.duplicates + 1;
+          None
+        end
+        else Some s
+    | None ->
+        let s =
+          {
+            count = f.Workload.Messages.count;
+            parts = Array.make f.Workload.Messages.count None;
+            received = 0;
+          }
+        in
+        Hashtbl.replace t.slots key s;
+        Some s
+  in
+  match slot with
+  | None -> ()
+  | Some s -> (
+      let i = f.Workload.Messages.index in
+      if i < 0 || i >= s.count || s.parts.(i) <> None then
+        t.duplicates <- t.duplicates + 1
+      else begin
+        s.parts.(i) <- Some f.Workload.Messages.body;
+        s.received <- s.received + 1;
+        t.buffered <- t.buffered + 1;
+        if s.received = s.count then begin
+          Hashtbl.remove t.slots key;
+          Hashtbl.replace t.finished key ();
+          t.buffered <- t.buffered - s.count;
+          t.completed <- t.completed + 1;
+          let body =
+            String.concat ""
+              (Array.to_list
+                 (Array.map (function Some b -> b | None -> assert false) s.parts))
+          in
+          match t.on_message with
+          | Some f_cb ->
+              f_cb ~src:(fst key) ~msg_id:(snd key) ~body
+          | None -> ()
+        end
+      end)
+
+let pending_messages t = Hashtbl.length t.slots
+
+let pending_fragments t = t.buffered
+
+let duplicates_dropped t = t.duplicates
+
+let completed t = t.completed

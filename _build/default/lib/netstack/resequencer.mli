@@ -1,0 +1,30 @@
+(** Destination-side resequencing and deduplication.
+
+    Relaxing the in-sequence constraint moves ordering responsibility to
+    the destination node (paper §2.3): fragments of a message may arrive
+    in any order and, after an enforced recovery on a flaky link, more
+    than once. The resequencer buffers fragments per (source, message id),
+    drops duplicates, and emits each message exactly once when complete. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> Workload.Messages.fragment -> unit
+(** Account for one arriving fragment. *)
+
+val set_on_message :
+  t -> (src:int -> msg_id:int -> body:string -> unit) -> unit
+(** Called exactly once per completed message, with fragments
+    concatenated in order. *)
+
+val pending_messages : t -> int
+(** Messages with at least one fragment but not yet complete. *)
+
+val pending_fragments : t -> int
+(** Buffered fragments awaiting completion — the destination buffer cost
+    the paper accepts in exchange for subnet transparency. *)
+
+val duplicates_dropped : t -> int
+
+val completed : t -> int

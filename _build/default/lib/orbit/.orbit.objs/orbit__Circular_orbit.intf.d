@@ -1,0 +1,1 @@
+lib/orbit/circular_orbit.mli: Vec3

@@ -1,0 +1,1 @@
+lib/orbit/constellation.ml: Array Circular_orbit Float Geometry List

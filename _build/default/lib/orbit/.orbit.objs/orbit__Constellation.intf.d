@@ -1,0 +1,1 @@
+lib/orbit/constellation.mli: Circular_orbit

@@ -1,0 +1,1 @@
+lib/orbit/contact.ml: Float Geometry List

@@ -1,0 +1,1 @@
+lib/orbit/contact.mli: Circular_orbit

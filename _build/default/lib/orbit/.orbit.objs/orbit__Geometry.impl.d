@@ -1,0 +1,1 @@
+lib/orbit/geometry.ml: Circular_orbit Float Vec3

@@ -1,0 +1,1 @@
+lib/orbit/geometry.mli: Circular_orbit Vec3

@@ -1,0 +1,1 @@
+lib/orbit/vec3.mli: Format

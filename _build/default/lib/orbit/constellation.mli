@@ -1,0 +1,41 @@
+(** Walker-delta constellations.
+
+    A Walker pattern [i: T/P/F] spreads [T] satellites over [P] equally
+    spaced orbital planes at inclination [i], with [F] controlling the
+    phase offset between adjacent planes. This is the standard shape of
+    proposed LEO systems (the paper's reference [16] Iridium-class
+    networks). *)
+
+type t
+
+type sat = { id : int; plane : int; index_in_plane : int; orbit : Circular_orbit.t }
+
+val walker :
+  total:int ->
+  planes:int ->
+  phasing:int ->
+  altitude_m:float ->
+  inclination_rad:float ->
+  t
+(** Requires [planes >= 1], [total] divisible by [planes], and
+    [0 <= phasing < planes]. *)
+
+val size : t -> int
+
+val satellites : t -> sat array
+
+val sat : t -> int -> sat
+(** By id, [0 <= id < size]. *)
+
+val intra_plane_neighbors : t -> int -> int list
+(** The two satellites adjacent along the same plane (ring). *)
+
+val inter_plane_neighbors : t -> int -> int list
+(** Same-index satellites in the adjacent planes (ring of planes). *)
+
+val neighbors : t -> int -> int list
+(** Union of intra- and inter-plane neighbours — the usual ±2 laser-head
+    topology under SWAP limits (paper §2.1 point 4). *)
+
+val visible_pairs : t -> at:float -> (int * int) list
+(** All pairs with line of sight at [at]; [fst < snd]. O(n²). *)

@@ -1,0 +1,55 @@
+type event_id = Event_queue.id
+
+type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
+
+let create () = { clock = 0.; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  let delay = if delay < 0. then 0. else delay in
+  Event_queue.add t.queue ~time:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  Event_queue.add t.queue ~time f
+
+let cancel t id = Event_queue.cancel t.queue id
+
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run ?until ?max_events t =
+  let executed = ref 0 in
+  let continue () =
+    match max_events with None -> true | Some m -> !executed < m
+  in
+  let rec loop () =
+    if not (continue ()) then ()
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> ()
+      | Some time -> (
+          match until with
+          | Some u when time > u -> t.clock <- u
+          | _ ->
+              ignore (step t : bool);
+              incr executed;
+              loop ())
+  in
+  loop ();
+  match until with
+  | Some u when t.clock < u && Event_queue.is_empty t.queue -> t.clock <- u
+  | _ -> ()
+
+let run_until_quiet t = run t

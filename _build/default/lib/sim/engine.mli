@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue. Components
+    schedule closures at future instants; [run] pops events in timestamp
+    order (ties broken by scheduling order) and executes them, advancing
+    the clock. All times are in seconds of simulated time. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+(** Fresh engine with clock at [0.]. *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f ()] at [now t +. delay]. Negative delays
+    are clamped to [0.] (the event fires "now", after currently queued
+    same-time events). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** [schedule_at t ~time f] runs [f] at absolute [time]; raises
+    [Invalid_argument] if [time] is in the simulated past. *)
+
+val cancel : t -> event_id -> bool
+(** Cancel a pending event. [false] if it already fired or was cancelled. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired events. *)
+
+val step : t -> bool
+(** Execute the next event, if any. Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** [run t] executes events until the queue drains. [?until] stops the
+    clock at that instant (events at exactly [until] still fire);
+    [?max_events] bounds the number of events executed — a guard against
+    runaway simulations. On reaching [until], the clock is advanced to
+    [until] even if no event fired there. *)
+
+val run_until_quiet : t -> unit
+(** Alias for [run] without bounds; drains the queue. *)

@@ -1,0 +1,129 @@
+(* Binary min-heap over (time, seq). Cancellation is recorded in a hash
+   table and resolved lazily at pop time, so cancel is O(1) and pop stays
+   O(log n) amortised. A separate [pending] set makes cancelling an
+   already-fired or already-cancelled id a safe no-op. *)
+
+type id = int
+
+type 'a entry = { time : float; seq : int; id : id; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable next_id : id;
+  cancelled : (id, unit) Hashtbl.t;
+  pending : (id, unit) Hashtbl.t;
+}
+
+let dummy_of payload = { time = 0.; seq = 0; id = -1; payload }
+
+let create () =
+  {
+    heap = [||];
+    size = 0;
+    next_seq = 0;
+    next_id = 0;
+    cancelled = Hashtbl.create 64;
+    pending = Hashtbl.create 64;
+  }
+
+let length t = Hashtbl.length t.pending
+
+let is_empty t = length t = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nheap = Array.make ncap (dummy_of entry.payload) in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let add t ~time payload =
+  let entry = { time; seq = t.next_seq; id = t.next_id; payload } in
+  t.next_seq <- t.next_seq + 1;
+  t.next_id <- t.next_id + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  Hashtbl.replace t.pending entry.id ();
+  entry.id
+
+let cancel t id =
+  if Hashtbl.mem t.pending id then begin
+    Hashtbl.remove t.pending id;
+    Hashtbl.replace t.cancelled id ();
+    true
+  end
+  else false
+
+(* Remove the heap root, skipping cancelled entries. *)
+let rec pop_live t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    if Hashtbl.mem t.cancelled top.id then begin
+      Hashtbl.remove t.cancelled top.id;
+      pop_live t
+    end
+    else Some top
+  end
+
+let rec drop_cancelled_head t =
+  if t.size = 0 then ()
+  else
+    let top = t.heap.(0) in
+    if Hashtbl.mem t.cancelled top.id then begin
+      Hashtbl.remove t.cancelled top.id;
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.heap.(0) <- t.heap.(t.size);
+        sift_down t 0
+      end;
+      drop_cancelled_head t
+    end
+
+let peek_time t =
+  drop_cancelled_head t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  match pop_live t with
+  | None -> None
+  | Some e ->
+      Hashtbl.remove t.pending e.id;
+      Some (e.time, e.payload)

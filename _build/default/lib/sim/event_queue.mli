@@ -1,0 +1,33 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, tie-break sequence)]. Events with
+    equal timestamps pop in insertion order, which keeps simulations
+    deterministic. Supports O(log n) insertion and removal of the minimum,
+    and lazy cancellation by id. *)
+
+type 'a t
+(** Queue holding payloads of type ['a]. *)
+
+type id
+(** Handle naming a scheduled event, usable for cancellation. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val add : 'a t -> time:float -> 'a -> id
+(** [add q ~time v] schedules [v] at [time] and returns its handle. *)
+
+val cancel : 'a t -> id -> bool
+(** [cancel q id] removes the event if it is still pending. Returns
+    [false] when the event already fired or was already cancelled.
+    Cancellation is lazy: the slot is skipped when popped. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest live event, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest live event. *)

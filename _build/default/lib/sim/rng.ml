@@ -1,0 +1,93 @@
+(* SplitMix64. Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+let copy t = { state = t.state }
+
+(* Top 53 bits -> float in [0,1). *)
+let unit_float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let float t x =
+  assert (x > 0.);
+  unit_float t *. x
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free for n << 2^62: take nonnegative 62 bits, mod n. The
+     modulo bias is < n / 2^62, negligible for simulation use. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  x mod n
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else unit_float t < p
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = 1. -. unit_float t in
+  -.mean *. log u
+
+let geometric t ~p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 1
+  else
+    let u = 1. -. unit_float t in
+    (* ceil of log-transform inverse CDF; always >= 1 *)
+    let k = int_of_float (ceil (log u /. log (1. -. p))) in
+    max 1 k
+
+let binomial t ~n ~p =
+  assert (n >= 0);
+  if n = 0 || p <= 0. then 0
+  else if p >= 1. then n
+  else if n <= 64 then begin
+    let c = ref 0 in
+    for _ = 1 to n do
+      if bernoulli t ~p then incr c
+    done;
+    !c
+  end
+  else begin
+    (* Normal approximation with continuity correction, clamped to the
+       support. Good enough for frame-error sampling where n is the number
+       of bits (thousands) and only the error/no-error distinction and
+       rough counts matter. *)
+    let mean = float_of_int n *. p in
+    let sd = sqrt (float_of_int n *. p *. (1. -. p)) in
+    (* Box-Muller *)
+    let u1 = 1. -. unit_float t and u2 = unit_float t in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    let x = int_of_float (Float.round (mean +. (sd *. z))) in
+    max 0 (min n x)
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

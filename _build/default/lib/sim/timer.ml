@@ -1,0 +1,41 @@
+type t = {
+  engine : Engine.t;
+  mutable duration : float;
+  on_expire : unit -> unit;
+  mutable armed : Engine.event_id option;
+  mutable expires_at : float;
+}
+
+let create engine ~duration ~on_expire =
+  assert (duration > 0.);
+  { engine; duration; on_expire; armed = None; expires_at = 0. }
+
+let stop t =
+  match t.armed with
+  | None -> ()
+  | Some id ->
+      ignore (Engine.cancel t.engine id : bool);
+      t.armed <- None
+
+let start t =
+  stop t;
+  t.expires_at <- Engine.now t.engine +. t.duration;
+  let id =
+    Engine.schedule t.engine ~delay:t.duration (fun () ->
+        t.armed <- None;
+        t.on_expire ())
+  in
+  t.armed <- Some id
+
+let reset = start
+
+let is_running t = t.armed <> None
+
+let set_duration t d =
+  assert (d > 0.);
+  t.duration <- d
+
+let remaining t =
+  match t.armed with
+  | None -> None
+  | Some _ -> Some (Float.max 0. (t.expires_at -. Engine.now t.engine))

@@ -1,0 +1,32 @@
+(** Restartable timers on top of {!Engine}.
+
+    Protocol code needs timers that can be started, stopped and reset
+    (e.g. LAMS-DLC's checkpoint and failure timers, HDLC's retransmission
+    timeout). A [Timer.t] wraps the underlying engine event so those
+    operations are one call each, and a timer can be reused any number of
+    times. *)
+
+type t
+
+val create : Engine.t -> duration:float -> on_expire:(unit -> unit) -> t
+(** A stopped timer that, once started, fires [on_expire] after
+    [duration] seconds unless stopped or reset first. *)
+
+val start : t -> unit
+(** Arm the timer for its full duration from now. Restarts it if already
+    running. *)
+
+val stop : t -> unit
+(** Disarm without firing. No-op when not running. *)
+
+val reset : t -> unit
+(** Equivalent to [start]: re-arm for the full duration from now. *)
+
+val is_running : t -> bool
+
+val set_duration : t -> float -> unit
+(** Change the duration used by subsequent [start]/[reset] calls. Does not
+    affect a currently armed timer. *)
+
+val remaining : t -> float option
+(** Seconds until expiry, or [None] when stopped. *)

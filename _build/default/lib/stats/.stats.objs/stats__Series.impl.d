@@ -1,0 +1,1 @@
+lib/stats/series.ml: Array Char Float Format List Printf Stdlib String

@@ -1,0 +1,63 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; sum = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.sum <- t.sum +. x
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fa = float_of_int a.n and fb = float_of_int b.n in
+    let fn = float_of_int n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. fn) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
+    {
+      n;
+      mean;
+      m2;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      sum = a.sum +. b.sum;
+    }
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = t.min
+
+let max t = t.max
+
+let sum t = t.sum
+
+let ci95_halfwidth t =
+  if t.n < 2 then 0. else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.6g±%.2g min=%.6g max=%.6g" t.n t.mean
+      (ci95_halfwidth t) t.min t.max

@@ -1,0 +1,40 @@
+(** Streaming univariate statistics.
+
+    Welford's online algorithm: numerically stable single-pass mean and
+    variance, plus min/max and count. Use one accumulator per measured
+    quantity (holding time, delivery delay, ...). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val merge : t -> t -> t
+(** Combine two accumulators as if all observations had gone to one
+    (Chan et al. parallel update). Inputs are not modified. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of a normal-approximation 95% confidence interval for the
+    mean ([1.96 * stddev / sqrt n]); [0.] with fewer than two samples. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering: count, mean ± ci, min, max. *)

@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Dlc Printf Sim String

@@ -1,0 +1,1 @@
+lib/workload/messages.ml: Format List Printf String

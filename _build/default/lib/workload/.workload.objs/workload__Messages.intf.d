@@ -1,0 +1,1 @@
+lib/workload/messages.mli: Format

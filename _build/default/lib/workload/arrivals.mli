@@ -1,0 +1,60 @@
+(** Traffic generators driving a {!Dlc.Session.t}.
+
+    Each generator offers payloads to the session on its own schedule and
+    retries refused offers. [saturating] keeps the sender's buffer topped
+    up — the paper's "high traffic" regime; [deterministic] and [poisson]
+    model the open-loop regimes; [on_off] produces bursty sources. *)
+
+type t
+
+val count_offered : t -> int
+
+val finished : t -> bool
+(** All requested payloads have been accepted by the session. *)
+
+val deterministic :
+  Sim.Engine.t ->
+  session:Dlc.Session.t ->
+  rate:float ->
+  count:int ->
+  payload:(int -> string) ->
+  t
+(** One payload every [1/rate] seconds, [count] total. Refused offers are
+    retried at the next tick (the tick is not consumed). *)
+
+val poisson :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  session:Dlc.Session.t ->
+  rate:float ->
+  count:int ->
+  payload:(int -> string) ->
+  t
+(** Exponential inter-arrivals with mean [1/rate]. *)
+
+val on_off :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  session:Dlc.Session.t ->
+  burst_rate:float ->
+  mean_on:float ->
+  mean_off:float ->
+  count:int ->
+  payload:(int -> string) ->
+  t
+(** Markov-modulated: exponentially distributed ON periods emitting at
+    [burst_rate], separated by exponential OFF periods. *)
+
+val saturating :
+  Sim.Engine.t ->
+  session:Dlc.Session.t ->
+  count:int ->
+  payload:(int -> string) ->
+  t
+(** Offer as fast as the session accepts: keep offering until refused,
+    then retry whenever the backlog drops. Polls at a small interval.
+    Models the paper's high-traffic assumption (arrival rate >= 1/t_f). *)
+
+val default_payload : size:int -> int -> string
+(** [default_payload ~size i]: a distinct, checkable payload of [size]
+    bytes whose prefix encodes [i]. *)

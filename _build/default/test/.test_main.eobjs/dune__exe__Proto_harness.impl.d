@@ -1,0 +1,1 @@
+test/proto_harness.ml: Alcotest Channel Dlc Hashtbl Hdlc Lams_dlc List Nbdt Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Float QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Channel Fec Float Frame List Sim String

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Frame List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_crc.ml: Alcotest Bytes Frame QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dlc.ml: Alcotest Astring Channel Dlc Format Lams_dlc List Printf Sim Stats

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest List QCheck2 QCheck_alcotest Sim

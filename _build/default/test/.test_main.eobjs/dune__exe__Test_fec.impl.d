@@ -1,0 +1,1 @@
+test/test_fec.ml: Alcotest Fec List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hdlc.ml: Alcotest Channel Dlc Fun Hdlc List Proto_harness QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_hdlc_receiver_unit.ml: Alcotest Channel Dlc Frame Hdlc List Sim

@@ -1,0 +1,1 @@
+test/test_hdlc_sender_unit.ml: Alcotest Channel Dlc Frame Hdlc List Printf Sim

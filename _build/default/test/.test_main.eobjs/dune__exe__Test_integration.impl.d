@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analysis Channel Char Dlc Experiments Fec Float Hdlc Lams_dlc List Sim Stats String Workload

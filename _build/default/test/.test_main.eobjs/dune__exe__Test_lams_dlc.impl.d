@@ -1,0 +1,1 @@
+test/test_lams_dlc.ml: Alcotest Channel Dlc Frame Hashtbl Lams_dlc List Proto_harness QCheck2 QCheck_alcotest Sim Stats Workload

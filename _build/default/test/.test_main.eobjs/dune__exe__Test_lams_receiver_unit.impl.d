@@ -1,0 +1,1 @@
+test/test_lams_receiver_unit.ml: Alcotest Channel Dlc Frame Lams_dlc List Sim

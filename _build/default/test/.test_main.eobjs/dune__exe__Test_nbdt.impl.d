@@ -1,0 +1,1 @@
+test/test_nbdt.ml: Alcotest Channel Dlc Hashtbl List Nbdt Proto_harness QCheck2 QCheck_alcotest Sim

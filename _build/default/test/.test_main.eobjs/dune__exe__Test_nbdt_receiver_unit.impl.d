@@ -1,0 +1,1 @@
+test/test_nbdt_receiver_unit.ml: Alcotest Channel Dlc Frame List Nbdt Sim

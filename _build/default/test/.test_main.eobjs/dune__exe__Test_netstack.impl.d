@@ -1,0 +1,1 @@
+test/test_netstack.ml: Alcotest Channel Char Lams_dlc List Netstack QCheck2 QCheck_alcotest Sim String Workload

@@ -1,0 +1,1 @@
+test/test_orbit.ml: Alcotest Float List Orbit

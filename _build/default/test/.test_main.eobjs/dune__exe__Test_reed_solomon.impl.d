@@ -1,0 +1,1 @@
+test/test_reed_solomon.ml: Alcotest Bytes Char Fec Hashtbl List QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_seqnum.ml: Alcotest Frame Hashtbl QCheck2 QCheck_alcotest

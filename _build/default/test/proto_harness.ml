@@ -1,0 +1,114 @@
+(* Shared harness for protocol tests: build a session over a configurable
+   duplex link, drive a workload, return everything needed for
+   assertions. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  duplex : Channel.Duplex.t;
+  dlc : Dlc.Session.t;
+  delivered : (string, int) Hashtbl.t;  (* payload -> times delivered *)
+  mutable delivery_order : string list;  (* newest first *)
+}
+
+let record_deliveries t =
+  t.dlc.Dlc.Session.set_on_deliver (fun ~payload ->
+      Hashtbl.replace t.delivered payload
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.delivered payload));
+      t.delivery_order <- payload :: t.delivery_order)
+
+let make_duplex ?(seed = 1) ?(ber = 0.) ?(cber = 0.) ?(distance = 1_000_000.)
+    ?(rate = 100e6) ?iframe_error engine =
+  let iframe_error =
+    match iframe_error with
+    | Some m -> m
+    | None -> Channel.Error_model.uniform ~ber ()
+  in
+  Channel.Duplex.create_static engine
+    ~rng:(Sim.Rng.create ~seed)
+    ~distance_m:distance ~data_rate_bps:rate ~iframe_error
+    ~cframe_error:(Channel.Error_model.uniform ~ber:cber ())
+
+let lams ?seed ?ber ?cber ?distance ?rate ?iframe_error
+    ?(params = Lams_dlc.Params.default) () =
+  let engine = Sim.Engine.create () in
+  let duplex = make_duplex ?seed ?ber ?cber ?distance ?rate ?iframe_error engine in
+  let session = Lams_dlc.Session.create engine ~params ~duplex in
+  let t =
+    {
+      engine;
+      duplex;
+      dlc = Lams_dlc.Session.as_dlc session;
+      delivered = Hashtbl.create 64;
+      delivery_order = [];
+    }
+  in
+  record_deliveries t;
+  (t, session)
+
+let nbdt ?seed ?ber ?cber ?distance ?rate ?iframe_error
+    ?(params = Nbdt.Params.default) () =
+  let engine = Sim.Engine.create () in
+  let duplex = make_duplex ?seed ?ber ?cber ?distance ?rate ?iframe_error engine in
+  let session = Nbdt.Session.create engine ~params ~duplex in
+  let t =
+    {
+      engine;
+      duplex;
+      dlc = Nbdt.Session.as_dlc session;
+      delivered = Hashtbl.create 64;
+      delivery_order = [];
+    }
+  in
+  record_deliveries t;
+  (t, session)
+
+let hdlc ?seed ?ber ?cber ?distance ?rate ?iframe_error
+    ?(params = Hdlc.Params.default) () =
+  let engine = Sim.Engine.create () in
+  let duplex = make_duplex ?seed ?ber ?cber ?distance ?rate ?iframe_error engine in
+  let session = Hdlc.Session.create engine ~params ~duplex in
+  let t =
+    {
+      engine;
+      duplex;
+      dlc = Hdlc.Session.as_dlc session;
+      delivered = Hashtbl.create 64;
+      delivery_order = [];
+    }
+  in
+  record_deliveries t;
+  (t, session)
+
+let payload i = Printf.sprintf "payload-%06d" i
+
+let offer_all t n =
+  for i = 0 to n - 1 do
+    if not (t.dlc.Dlc.Session.offer (payload i)) then
+      Alcotest.failf "offer %d refused" i
+  done
+
+let run_to_completion ?(horizon = 60.) t =
+  Sim.Engine.run t.engine ~until:horizon;
+  t.dlc.Dlc.Session.stop ();
+  Sim.Engine.run t.engine
+
+let delivered_exactly_once t n =
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt t.delivered (payload i) with
+    | Some 1 -> ()
+    | Some k -> Alcotest.failf "payload %d delivered %d times" i k
+    | None -> Alcotest.failf "payload %d never delivered" i
+  done
+
+let delivered_at_least_once t n =
+  for i = 0 to n - 1 do
+    if not (Hashtbl.mem t.delivered (payload i)) then
+      Alcotest.failf "payload %d never delivered" i
+  done
+
+let in_order t =
+  (* delivery order must equal offer order *)
+  List.iteri
+    (fun i p ->
+      if p <> payload i then Alcotest.failf "position %d: got %s" i p)
+    (List.rev t.delivery_order)

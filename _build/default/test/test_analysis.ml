@@ -1,0 +1,212 @@
+(* Closed-form model tests (paper §4): hand-computed values, limit
+   behaviour, monotonicity, and cross-model relations. *)
+
+let feq name ?(eps = 1e-9) a b =
+  if Float.abs (a -. b) > eps *. (1. +. Float.abs b) then
+    Alcotest.failf "%s: %g != %g" name a b
+
+let mk ?(p_f = 0.1) ?(p_c = 0.01) () =
+  Analysis.Common.link ~r:0.02 ~t_f:30e-6 ~t_c:1e-6 ~t_proc:10e-6 ~p_f ~p_c
+
+let test_link_validation () =
+  Alcotest.check_raises "p_f = 1"
+    (Invalid_argument "Analysis.link: p_f must be in [0,1)") (fun () ->
+      ignore (mk ~p_f:1. ()));
+  Alcotest.check_raises "r = 0" (Invalid_argument "Analysis.link: r must be > 0")
+    (fun () ->
+      ignore
+        (Analysis.Common.link ~r:0. ~t_f:1e-6 ~t_c:1e-6 ~t_proc:0. ~p_f:0. ~p_c:0.))
+
+let test_p_any_error () =
+  feq "zero ber" (Analysis.Common.p_any_error ~ber:0. ~bits:1000) 0.;
+  feq "ber 1" (Analysis.Common.p_any_error ~ber:1. ~bits:10) 1.;
+  feq "single bit" (Analysis.Common.p_any_error ~ber:0.25 ~bits:1) 0.25;
+  (* 1-(1-1e-5)^8000 = 0.0769... *)
+  feq "typical frame" ~eps:1e-6
+    (Analysis.Common.p_any_error ~ber:1e-5 ~bits:8000)
+    (1. -. ((1. -. 1e-5) ** 8000.))
+
+let test_link_of_physical () =
+  let l =
+    Analysis.Common.link_of_physical ~distance_m:3_000_000. ~data_rate_bps:1e9
+      ~iframe_bits:8000 ~cframe_bits:100 ~t_proc:1e-6 ~ber:1e-5 ~cframe_ber:1e-7
+  in
+  feq "rtt" l.Analysis.Common.r (2. *. 3_000_000. /. 299_792_458.);
+  feq "t_f" l.Analysis.Common.t_f 8e-6;
+  feq "p_c" ~eps:1e-6 l.Analysis.Common.p_c
+    (Analysis.Common.p_any_error ~ber:1e-7 ~bits:100)
+
+(* --- LAMS model --- *)
+
+let test_lams_s_bar () =
+  let l = mk () in
+  feq "p_r = p_f" (Analysis.Lams_model.p_r l) 0.1;
+  feq "s_bar" (Analysis.Lams_model.s_bar l) (1. /. 0.9);
+  let clean = mk ~p_f:0. () in
+  feq "perfect channel" (Analysis.Lams_model.s_bar clean) 1.
+
+let test_lams_d_trans_formula () =
+  let l = mk () in
+  let i_cp = 1e-3 in
+  let n_cp = 1. /. (1. -. 0.01) in
+  let expected =
+    (100. *. 30e-6) +. 1e-6 +. 10e-6 +. 0.02 +. ((n_cp -. 0.5) *. 1e-3)
+  in
+  feq "d_trans(100)" (Analysis.Lams_model.d_trans l ~i_cp ~n:100) expected;
+  feq "d_retrn = d_trans(1)"
+    (Analysis.Lams_model.d_retrn l ~i_cp)
+    (Analysis.Lams_model.d_trans l ~i_cp ~n:1)
+
+let test_lams_d_low_composition () =
+  let l = mk () in
+  let i_cp = 1e-3 in
+  feq "d_low = d_trans + (s-1) d_retrn"
+    (Analysis.Lams_model.d_low l ~i_cp ~n:50)
+    (Analysis.Lams_model.d_trans l ~i_cp ~n:50
+    +. ((Analysis.Lams_model.s_bar l -. 1.) *. Analysis.Lams_model.d_retrn l ~i_cp))
+
+let test_lams_holding_vs_buffer () =
+  let l = mk () in
+  let i_cp = 1e-3 in
+  let h = Analysis.Lams_model.holding_time l ~i_cp in
+  feq "transparent buffer = h/t_f + t_proc/t_f"
+    (Analysis.Lams_model.transparent_buffer l ~i_cp)
+    ((h /. 30e-6) +. (10e-6 /. 30e-6))
+
+let test_lams_resolving_and_numbering () =
+  let l = mk () in
+  feq "resolving period"
+    (Analysis.Lams_model.resolving_period l ~i_cp:1e-3 ~c_depth:3)
+    (0.02 +. 0.5e-3 +. 3e-3);
+  feq "numbering = resolving / t_f"
+    (Analysis.Lams_model.numbering_size l ~i_cp:1e-3 ~c_depth:3)
+    ((0.02 +. 0.5e-3 +. 3e-3) /. 30e-6)
+
+let test_lams_n_total_asymptote () =
+  let l = mk ~p_f:0.05 () in
+  let i_cp = 1e-3 in
+  let n = 100_000 in
+  let total = Analysis.Lams_model.n_total l ~i_cp ~n in
+  let asym = float_of_int n /. 0.95 in
+  if Float.abs (total -. asym) /. asym > 0.02 then
+    Alcotest.failf "n_total %g far from N*s_bar %g" total asym
+
+let test_lams_n_total_perfect_channel () =
+  let l = mk ~p_f:0. () in
+  feq "no inflation" (Analysis.Lams_model.n_total l ~i_cp:1e-3 ~n:500) 500.
+
+let test_lams_efficiency_monotone_in_n () =
+  let l = mk ~p_f:0.05 () in
+  let i_cp = 1e-3 in
+  let e1 = Analysis.Lams_model.throughput_efficiency l ~i_cp ~n:100 in
+  let e2 = Analysis.Lams_model.throughput_efficiency l ~i_cp ~n:10_000 in
+  if not (e2 > e1) then Alcotest.failf "efficiency not increasing: %g vs %g" e1 e2;
+  if e2 > 1. then Alcotest.failf "efficiency above 1: %g" e2
+
+(* --- HDLC model --- *)
+
+let test_hdlc_p_r () =
+  let l = mk () in
+  feq "p_r" (Analysis.Hdlc_model.p_r l) (0.1 +. 0.01 -. (0.1 *. 0.01));
+  let piggy = mk ~p_c:0.1 () in
+  feq "piggyback case 2p - p^2" (Analysis.Hdlc_model.p_r piggy) (0.2 -. 0.01)
+
+let test_hdlc_s_bar_exceeds_lams () =
+  let l = mk () in
+  if not (Analysis.Hdlc_model.s_bar l > Analysis.Lams_model.s_bar l) then
+    Alcotest.fail "HDLC should need more rounds than LAMS"
+
+let test_hdlc_d_trans_formula () =
+  let l = mk () in
+  let alpha = 0.01 in
+  let expected =
+    (63. *. 30e-6)
+    +. (0.99 *. (0.02 +. 2e-5 +. 1e-6))
+    +. (0.01 *. (0.02 +. 0.01))
+  in
+  feq "d_trans" (Analysis.Hdlc_model.d_trans l ~alpha ~w:63) expected
+
+let test_hdlc_d_high_additive_in_windows () =
+  let l = mk () in
+  let alpha = 0.01 in
+  let one = Analysis.Hdlc_model.d_high l ~alpha ~w:63 ~n:63 in
+  let two = Analysis.Hdlc_model.d_high l ~alpha ~w:63 ~n:126 in
+  feq "two windows = 2x one" two (2. *. one) ~eps:1e-9
+
+let test_hdlc_efficiency_flat_in_n () =
+  let l = mk () in
+  let alpha = 0.01 in
+  let e1 = Analysis.Hdlc_model.throughput_efficiency l ~alpha ~w:63 ~n:63 in
+  let e2 = Analysis.Hdlc_model.throughput_efficiency l ~alpha ~w:63 ~n:6300 in
+  feq "windowed efficiency is N-independent" e1 e2 ~eps:1e-6
+
+let test_headline_lams_beats_hdlc () =
+  (* the paper's conclusion, at its own operating point: long link, high
+     rate, high BER *)
+  let l =
+    Analysis.Common.link_of_physical ~distance_m:4_000_000.
+      ~data_rate_bps:300e6 ~iframe_bits:8296 ~cframe_bits:176 ~t_proc:10e-6
+      ~ber:1e-5 ~cframe_ber:1e-5
+  in
+  let lams = Analysis.Lams_model.throughput_efficiency l ~i_cp:1.8e-3 ~n:5000 in
+  let hdlc =
+    Analysis.Hdlc_model.throughput_efficiency l ~alpha:(0.5 *. l.Analysis.Common.r)
+      ~w:63 ~n:5000
+  in
+  if not (lams > 4. *. hdlc) then
+    Alcotest.failf "expected LAMS >> HDLC, got %g vs %g" lams hdlc
+
+let test_buffer_models () =
+  feq "hdlc buffer infinite" (Analysis.Hdlc_model.transparent_buffer ()) infinity;
+  let l = mk () in
+  let b = Analysis.Lams_model.transparent_buffer l ~i_cp:1e-3 in
+  if not (Float.is_finite b && b > 0.) then Alcotest.failf "B_LAMS %g" b
+
+let prop_s_bar_monotone_in_p =
+  QCheck2.Test.make ~name:"s_bar increases with error probability" ~count:200
+    QCheck2.Gen.(pair (float_range 0. 0.49) (float_range 0.001 0.49))
+    (fun (p, dp) ->
+      let a = Analysis.Lams_model.s_bar (mk ~p_f:p ()) in
+      let b = Analysis.Lams_model.s_bar (mk ~p_f:(p +. dp) ()) in
+      b > a)
+
+let prop_lams_beats_hdlc_rounds =
+  QCheck2.Test.make ~name:"LAMS never needs more rounds than HDLC" ~count:200
+    QCheck2.Gen.(pair (float_range 0. 0.8) (float_range 0.0001 0.15))
+    (fun (p_f, p_c) ->
+      let l = Analysis.Common.link ~r:0.02 ~t_f:30e-6 ~t_c:1e-6 ~t_proc:0. ~p_f ~p_c in
+      Analysis.Lams_model.s_bar l <= Analysis.Hdlc_model.s_bar l)
+
+let prop_n_total_at_least_n =
+  QCheck2.Test.make ~name:"n_total >= N and <= N*s_bar*1.01" ~count:100
+    QCheck2.Gen.(pair (float_range 0. 0.3) (int_range 1 20_000))
+    (fun (p_f, n) ->
+      let l = mk ~p_f () in
+      let total = Analysis.Lams_model.n_total l ~i_cp:1e-3 ~n in
+      total >= float_of_int n -. 1e-6
+      && total <= (float_of_int n *. Analysis.Lams_model.s_bar l) +. 1.)
+
+let suite =
+  [
+    Alcotest.test_case "link validation" `Quick test_link_validation;
+    Alcotest.test_case "p_any_error" `Quick test_p_any_error;
+    Alcotest.test_case "link_of_physical" `Quick test_link_of_physical;
+    Alcotest.test_case "lams s_bar" `Quick test_lams_s_bar;
+    Alcotest.test_case "lams d_trans formula" `Quick test_lams_d_trans_formula;
+    Alcotest.test_case "lams d_low composition" `Quick test_lams_d_low_composition;
+    Alcotest.test_case "lams holding vs buffer" `Quick test_lams_holding_vs_buffer;
+    Alcotest.test_case "lams resolving/numbering" `Quick test_lams_resolving_and_numbering;
+    Alcotest.test_case "lams n_total asymptote" `Quick test_lams_n_total_asymptote;
+    Alcotest.test_case "lams n_total perfect" `Quick test_lams_n_total_perfect_channel;
+    Alcotest.test_case "lams efficiency monotone" `Quick test_lams_efficiency_monotone_in_n;
+    Alcotest.test_case "hdlc p_r" `Quick test_hdlc_p_r;
+    Alcotest.test_case "hdlc s_bar > lams" `Quick test_hdlc_s_bar_exceeds_lams;
+    Alcotest.test_case "hdlc d_trans formula" `Quick test_hdlc_d_trans_formula;
+    Alcotest.test_case "hdlc d_high additive" `Quick test_hdlc_d_high_additive_in_windows;
+    Alcotest.test_case "hdlc efficiency flat" `Quick test_hdlc_efficiency_flat_in_n;
+    Alcotest.test_case "headline: lams beats hdlc" `Quick test_headline_lams_beats_hdlc;
+    Alcotest.test_case "buffer models" `Quick test_buffer_models;
+    QCheck_alcotest.to_alcotest prop_s_bar_monotone_in_p;
+    QCheck_alcotest.to_alcotest prop_lams_beats_hdlc_rounds;
+    QCheck_alcotest.to_alcotest prop_n_total_at_least_n;
+  ]

@@ -1,0 +1,357 @@
+(* Channel tests: error models and the link (timing, FIFO, corruption,
+   outages). *)
+
+let test_perfect_never_corrupts () =
+  let rng = Sim.Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    match
+      Channel.Error_model.fate Channel.Error_model.perfect rng ~header_bits:100
+        ~payload_bits:8000
+    with
+    | Channel.Error_model.Clean -> ()
+    | _ -> Alcotest.fail "perfect channel corrupted a frame"
+  done
+
+let test_uniform_fer_matches_analytic () =
+  let ber = 1e-4 in
+  let bits = 8000 in
+  let model = Channel.Error_model.uniform ~ber () in
+  let expected = Channel.Error_model.frame_error_prob model ~bits in
+  let rng = Sim.Rng.create ~seed:2 in
+  let n = 50_000 in
+  let bad = ref 0 in
+  for _ = 1 to n do
+    match Channel.Error_model.fate model rng ~header_bits:104 ~payload_bits:(bits - 104) with
+    | Channel.Error_model.Clean -> ()
+    | _ -> incr bad
+  done;
+  let freq = float_of_int !bad /. float_of_int n in
+  if Float.abs (freq -. expected) > 0.01 then
+    Alcotest.failf "uniform FER %g != %g" freq expected
+
+let test_uniform_frame_loss () =
+  let model = Channel.Error_model.uniform ~frame_loss:1. ~ber:0. () in
+  let rng = Sim.Rng.create ~seed:3 in
+  (match Channel.Error_model.fate model rng ~header_bits:8 ~payload_bits:8 with
+  | Channel.Error_model.Lost -> ()
+  | _ -> Alcotest.fail "expected loss");
+  Alcotest.(check (float 1e-9)) "fer includes loss" 1.
+    (Channel.Error_model.frame_error_prob model ~bits:16)
+
+let test_ber_inverse () =
+  let bits = 8104 in
+  let fer = 0.08 in
+  let ber = Channel.Error_model.ber_for_frame_error_prob ~bits ~fer in
+  let model = Channel.Error_model.uniform ~ber () in
+  let recovered = Channel.Error_model.frame_error_prob model ~bits in
+  if Float.abs (recovered -. fer) > 1e-9 then
+    Alcotest.failf "inverse broken: %g != %g" recovered fer
+
+let test_ge_stationary_rate () =
+  let model =
+    Channel.Error_model.gilbert_elliott ~ber_good:0. ~ber_bad:1.
+      ~mean_burst_bits:100. ~mean_gap_bits:900. ()
+  in
+  (* stationary bad fraction = 0.1; a 1-bit frame is corrupt iff in the
+     bad state, so corruption frequency ~ 0.1 *)
+  let rng = Sim.Rng.create ~seed:4 in
+  let n = 100_000 in
+  let bad = ref 0 in
+  for _ = 1 to n do
+    match Channel.Error_model.fate model rng ~header_bits:1 ~payload_bits:0 with
+    | Channel.Error_model.Clean -> ()
+    | _ -> incr bad
+  done;
+  let freq = float_of_int !bad /. float_of_int n in
+  if Float.abs (freq -. 0.1) > 0.02 then
+    Alcotest.failf "GE stationary bad fraction %g != 0.1" freq
+
+let test_ge_burstiness () =
+  (* errors should cluster: P(error | previous frame errored) must be far
+     above the stationary rate *)
+  let model =
+    Channel.Error_model.gilbert_elliott ~ber_good:0. ~ber_bad:1.
+      ~mean_burst_bits:500. ~mean_gap_bits:9500. ()
+  in
+  let rng = Sim.Rng.create ~seed:5 in
+  let n = 200_000 in
+  let prev_bad = ref false in
+  let after_bad = ref 0 and after_bad_bad = ref 0 and total_bad = ref 0 in
+  for _ = 1 to n do
+    let bad =
+      match Channel.Error_model.fate model rng ~header_bits:10 ~payload_bits:0 with
+      | Channel.Error_model.Clean -> false
+      | _ -> true
+    in
+    if !prev_bad then begin
+      incr after_bad;
+      if bad then incr after_bad_bad
+    end;
+    if bad then incr total_bad;
+    prev_bad := bad
+  done;
+  let p_cond = float_of_int !after_bad_bad /. float_of_int !after_bad in
+  let p_marginal = float_of_int !total_bad /. float_of_int n in
+  if p_cond < 3. *. p_marginal then
+    Alcotest.failf "not bursty: P(bad|bad)=%g vs P(bad)=%g" p_cond p_marginal
+
+let test_copy_independent () =
+  let model =
+    Channel.Error_model.gilbert_elliott ~ber_good:0. ~ber_bad:1.
+      ~mean_burst_bits:10. ~mean_gap_bits:10. ()
+  in
+  let copy = Channel.Error_model.copy model in
+  let r1 = Sim.Rng.create ~seed:6 and r2 = Sim.Rng.create ~seed:6 in
+  (* identical streams on copies with identical rngs *)
+  for _ = 1 to 100 do
+    let a = Channel.Error_model.fate model r1 ~header_bits:5 ~payload_bits:5 in
+    let b = Channel.Error_model.fate copy r2 ~header_bits:5 ~payload_bits:5 in
+    if a <> b then Alcotest.fail "copies diverged under identical draws"
+  done
+
+(* --- Link --- *)
+
+let make_link ?(ber = 0.) ?(distance = 3_000_000.) engine seed =
+  Channel.Link.create_static engine
+    ~rng:(Sim.Rng.create ~seed)
+    ~distance_m:distance ~data_rate_bps:1e6
+    ~iframe_error:(Channel.Error_model.uniform ~ber ())
+    ~cframe_error:Channel.Error_model.perfect
+
+let iframe ~seq ~bytes =
+  Frame.Wire.Data (Frame.Iframe.create ~seq ~payload:(String.make bytes 'p'))
+
+let test_link_delivery_time () =
+  let engine = Sim.Engine.create () in
+  let link = make_link engine 1 in
+  let arrival = ref nan in
+  Channel.Link.set_receiver link (fun _ -> arrival := Sim.Engine.now engine);
+  let f = iframe ~seq:0 ~bytes:112 in
+  (* 112 + 13 overhead = 125 bytes = 1000 bits at 1 Mb/s = 1 ms tx;
+     3000 km = 10.007 ms propagation *)
+  Channel.Link.send link f;
+  Sim.Engine.run engine;
+  let expected = 0.001 +. (3_000_000. /. Channel.Link.speed_of_light) in
+  if Float.abs (!arrival -. expected) > 1e-6 then
+    Alcotest.failf "arrival %g != %g" !arrival expected
+
+let test_link_fifo_and_queueing () =
+  let engine = Sim.Engine.create () in
+  let link = make_link engine 2 in
+  let seen = ref [] in
+  Channel.Link.set_receiver link (fun rx ->
+      match rx.Channel.Link.frame with
+      | Frame.Wire.Data i -> seen := i.Frame.Iframe.seq :: !seen
+      | _ -> ());
+  for seq = 0 to 9 do
+    Channel.Link.send link (iframe ~seq ~bytes:112)
+  done;
+  Alcotest.(check bool) "busy while serialising" true (Channel.Link.busy link);
+  Alcotest.(check int) "queue behind transmitter" 9 (Channel.Link.queue_length link);
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !seen)
+
+let test_link_on_idle () =
+  let engine = Sim.Engine.create () in
+  let link = make_link engine 3 in
+  Channel.Link.set_receiver link (fun _ -> ());
+  let idle_count = ref 0 in
+  Channel.Link.set_on_idle link (fun () -> incr idle_count);
+  Channel.Link.send link (iframe ~seq:0 ~bytes:10);
+  Channel.Link.send link (iframe ~seq:1 ~bytes:10);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "idle fires once per drain" 1 !idle_count
+
+let test_link_outage_loses_frames () =
+  let engine = Sim.Engine.create () in
+  let link = make_link engine 4 in
+  let received = ref 0 in
+  Channel.Link.set_receiver link (fun _ -> incr received);
+  Channel.Link.set_down link;
+  Channel.Link.send link (iframe ~seq:0 ~bytes:10);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "nothing arrives" 0 !received;
+  Alcotest.(check int) "counted lost" 1 (Channel.Link.stats link).Channel.Link.frames_lost;
+  Channel.Link.set_up link;
+  Channel.Link.send link (iframe ~seq:1 ~bytes:10);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "delivers after recovery" 1 !received
+
+let test_link_corruption_statuses () =
+  let engine = Sim.Engine.create () in
+  (* ber=1 corrupts every frame; header corruption must be flagged *)
+  let link = make_link ~ber:1.0 engine 5 in
+  let statuses = ref [] in
+  Channel.Link.set_receiver link (fun rx -> statuses := rx.Channel.Link.status :: !statuses);
+  Channel.Link.send link (iframe ~seq:0 ~bytes:10);
+  Sim.Engine.run engine;
+  (match !statuses with
+  | [ Channel.Link.Rx_header_corrupt ] -> ()
+  | _ -> Alcotest.fail "expected header corruption at ber=1");
+  Alcotest.(check int) "corruption counted" 1
+    (Channel.Link.stats link).Channel.Link.frames_corrupted
+
+let test_control_frames_use_control_model () =
+  let engine = Sim.Engine.create () in
+  (* I-frame channel destroys everything; control channel is perfect *)
+  let link =
+    Channel.Link.create_static engine
+      ~rng:(Sim.Rng.create ~seed:6)
+      ~distance_m:1000. ~data_rate_bps:1e6
+      ~iframe_error:(Channel.Error_model.uniform ~ber:1.0 ())
+      ~cframe_error:Channel.Error_model.perfect
+  in
+  let ok = ref 0 in
+  Channel.Link.set_receiver link (fun rx ->
+      if rx.Channel.Link.status = Channel.Link.Rx_ok then incr ok);
+  Channel.Link.send link
+    (Frame.Wire.Control (Frame.Cframe.request_nak ~issue_time:0.));
+  Channel.Link.send link (iframe ~seq:0 ~bytes:10);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "only the control frame survives" 1 !ok
+
+let test_moving_link_distance () =
+  let engine = Sim.Engine.create () in
+  (* distance grows 1000 km per second *)
+  let link =
+    Channel.Link.create engine
+      ~rng:(Sim.Rng.create ~seed:7)
+      ~distance_m:(fun t -> 1_000_000. +. (1e9 *. t))
+      ~data_rate_bps:1e9 ~iframe_error:Channel.Error_model.perfect
+      ~cframe_error:Channel.Error_model.perfect
+  in
+  let arrivals = ref [] in
+  Channel.Link.set_receiver link (fun _ -> arrivals := Sim.Engine.now engine :: !arrivals);
+  Channel.Link.send link (iframe ~seq:0 ~bytes:10);
+  ignore
+    (Sim.Engine.schedule engine ~delay:0.5 (fun () ->
+         Channel.Link.send link (iframe ~seq:1 ~bytes:10)));
+  Sim.Engine.run engine;
+  match List.rev !arrivals with
+  | [ a; b ] ->
+      (* second frame departs when the link is much longer *)
+      if not (b -. 0.5 > a +. 1e-3) then
+        Alcotest.failf "growing distance not reflected: %g vs %g" a b
+  | _ -> Alcotest.fail "expected two arrivals"
+
+(* --- error positions and the bit-level coded path --- *)
+
+let test_error_positions_rate () =
+  let model = Channel.Error_model.uniform ~ber:0.01 () in
+  let rng = Sim.Rng.create ~seed:9 in
+  let total = ref 0 in
+  let trials = 200 and bits = 10_000 in
+  for _ = 1 to trials do
+    let ps = Channel.Error_model.error_positions model rng ~bits in
+    List.iter (fun p -> if p < 0 || p >= bits then Alcotest.failf "pos %d" p) ps;
+    (* sorted and distinct *)
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          if a >= b then Alcotest.fail "not sorted/distinct";
+          check rest
+      | _ -> ()
+    in
+    check ps;
+    total := !total + List.length ps
+  done;
+  let rate = float_of_int !total /. float_of_int (trials * bits) in
+  if Float.abs (rate -. 0.01) > 0.002 then
+    Alcotest.failf "error rate %g != 0.01" rate
+
+let test_error_positions_perfect () =
+  let rng = Sim.Rng.create ~seed:10 in
+  Alcotest.(check (list int)) "no errors" []
+    (Channel.Error_model.error_positions Channel.Error_model.perfect rng ~bits:1000)
+
+let coded_path ?(error_model = Channel.Error_model.perfect) ?(seed = 11) () =
+  Channel.Coded_path.create
+    ~rng:(Sim.Rng.create ~seed)
+    ~iframe_code:Fec.Code.hamming74 ~cframe_code:Fec.Code.conv_default
+    ~error_model
+
+let test_coded_path_clean_roundtrip () =
+  let path = coded_path () in
+  let frames =
+    [
+      Frame.Wire.Data (Frame.Iframe.create ~seq:5 ~payload:"clean payload");
+      Frame.Wire.Control
+        (Frame.Cframe.checkpoint ~cp_seq:2 ~issue_time:1.5 ~stop_go:false
+           ~enforced:false ~next_expected:9 ~naks:[ 4; 6 ]);
+      Frame.Wire.Hdlc_control
+        (Frame.Hframe.create ~kind:Frame.Hframe.Srej ~nr:3 ~pf:true);
+    ]
+  in
+  List.iter
+    (fun frame ->
+      let outcome, decoded = Channel.Coded_path.transmit path frame in
+      Alcotest.(check bool) "clean" true (outcome.Channel.Coded_path.status = Channel.Link.Rx_ok);
+      Alcotest.(check int) "no injected errors" 0 outcome.Channel.Coded_path.bit_errors;
+      match decoded with
+      | Some _ -> ()
+      | None -> Alcotest.fail "frame lost on a clean path")
+    frames
+
+let test_coded_path_corrects_light_noise () =
+  (* hamming on the I-frame corrects sub-threshold noise: residual status
+     distribution must be far better than raw *)
+  let path =
+    coded_path ~error_model:(Channel.Error_model.uniform ~ber:2e-4 ()) ~seed:12 ()
+  in
+  let frame = Frame.Wire.Data (Frame.Iframe.create ~seq:0 ~payload:(String.make 64 'q')) in
+  let fer = Channel.Coded_path.residual_fer path frame ~trials:300 in
+  let raw_fer =
+    Channel.Error_model.frame_error_prob
+      (Channel.Error_model.uniform ~ber:2e-4 ())
+      ~bits:(8 * Frame.Wire.size_bytes frame)
+  in
+  if not (fer < raw_fer /. 2.) then
+    Alcotest.failf "coding did not help: residual %g vs raw %g" fer raw_fer
+
+let test_coded_path_payload_corrupt_identifies_seq () =
+  (* heavy noise with identity coding: when only the payload breaks, the
+     receiver still learns the seq — the NAK-enabling property *)
+  let path =
+    Channel.Coded_path.create
+      ~rng:(Sim.Rng.create ~seed:13)
+      ~iframe_code:Fec.Code.identity ~cframe_code:Fec.Code.identity
+      ~error_model:(Channel.Error_model.uniform ~ber:2e-3 ())
+  in
+  let frame =
+    Frame.Wire.Data (Frame.Iframe.create ~seq:4242 ~payload:(String.make 400 'z'))
+  in
+  let saw_payload_corrupt = ref false in
+  for _ = 1 to 200 do
+    match Channel.Coded_path.transmit path frame with
+    | { Channel.Coded_path.status = Channel.Link.Rx_payload_corrupt; _ },
+      Some (Frame.Wire.Data i) ->
+        Alcotest.(check int) "seq recovered" 4242 i.Frame.Iframe.seq;
+        saw_payload_corrupt := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "payload-corrupt cases occurred" true !saw_payload_corrupt
+
+let suite =
+  [
+    Alcotest.test_case "perfect never corrupts" `Quick test_perfect_never_corrupts;
+    Alcotest.test_case "uniform FER analytic" `Slow test_uniform_fer_matches_analytic;
+    Alcotest.test_case "uniform frame loss" `Quick test_uniform_frame_loss;
+    Alcotest.test_case "ber inverse" `Quick test_ber_inverse;
+    Alcotest.test_case "GE stationary rate" `Slow test_ge_stationary_rate;
+    Alcotest.test_case "GE burstiness" `Slow test_ge_burstiness;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "link delivery time" `Quick test_link_delivery_time;
+    Alcotest.test_case "link FIFO + queueing" `Quick test_link_fifo_and_queueing;
+    Alcotest.test_case "link on_idle" `Quick test_link_on_idle;
+    Alcotest.test_case "link outage" `Quick test_link_outage_loses_frames;
+    Alcotest.test_case "corruption statuses" `Quick test_link_corruption_statuses;
+    Alcotest.test_case "control frames use control model" `Quick
+      test_control_frames_use_control_model;
+    Alcotest.test_case "moving link distance" `Quick test_moving_link_distance;
+    Alcotest.test_case "error positions rate" `Slow test_error_positions_rate;
+    Alcotest.test_case "error positions perfect" `Quick test_error_positions_perfect;
+    Alcotest.test_case "coded path clean roundtrip" `Quick test_coded_path_clean_roundtrip;
+    Alcotest.test_case "coded path corrects noise" `Quick test_coded_path_corrects_light_noise;
+    Alcotest.test_case "coded path identifies seq" `Quick
+      test_coded_path_payload_corrupt_identifies_seq;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the simulation event queue: ordering, tie-breaking,
+   cancellation. *)
+
+let test_pop_order () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.add q ~time:3. "c");
+  ignore (Sim.Event_queue.add q ~time:1. "a");
+  ignore (Sim.Event_queue.add q ~time:2. "b");
+  let pop () =
+    match Sim.Event_queue.pop q with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "queue empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "drained" true (Sim.Event_queue.pop q = None)
+
+
+let test_tie_break_fifo () =
+  let q = Sim.Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Sim.Event_queue.add q ~time:5. i)
+  done;
+  for i = 0 to 9 do
+    match Sim.Event_queue.pop q with
+    | Some (_, v) -> Alcotest.(check int) "insertion order" i v
+    | None -> Alcotest.fail "queue empty"
+  done
+
+let test_cancel () =
+  let q = Sim.Event_queue.create () in
+  let id1 = Sim.Event_queue.add q ~time:1. "a" in
+  let _id2 = Sim.Event_queue.add q ~time:2. "b" in
+  Alcotest.(check bool) "cancel pending" true (Sim.Event_queue.cancel q id1);
+  Alcotest.(check bool) "double cancel fails" false (Sim.Event_queue.cancel q id1);
+  (match Sim.Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check string) "skips cancelled" "b" v
+  | None -> Alcotest.fail "queue empty");
+  Alcotest.(check bool) "cancel after fire fails" false
+    (Sim.Event_queue.cancel q id1)
+
+let test_length_tracks_live () =
+  let q = Sim.Event_queue.create () in
+  let id = Sim.Event_queue.add q ~time:1. () in
+  ignore (Sim.Event_queue.add q ~time:2. ());
+  Alcotest.(check int) "two live" 2 (Sim.Event_queue.length q);
+  ignore (Sim.Event_queue.cancel q id : bool);
+  Alcotest.(check int) "one live after cancel" 1 (Sim.Event_queue.length q);
+  ignore (Sim.Event_queue.pop q);
+  Alcotest.(check int) "zero after pop" 0 (Sim.Event_queue.length q);
+  Alcotest.(check bool) "is_empty" true (Sim.Event_queue.is_empty q)
+
+let test_peek_time_skips_cancelled () =
+  let q = Sim.Event_queue.create () in
+  let id = Sim.Event_queue.add q ~time:1. () in
+  ignore (Sim.Event_queue.add q ~time:5. ());
+  ignore (Sim.Event_queue.cancel q id : bool);
+  Alcotest.(check (option (float 1e-9))) "peek is 5" (Some 5.)
+    (Sim.Event_queue.peek_time q)
+
+let prop_pop_sorted =
+  QCheck2.Test.make ~name:"event queue pops in nondecreasing time order"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (float_range 0. 1000.))
+    (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun time -> ignore (Sim.Event_queue.add q ~time time)) times;
+      let rec drain last =
+        match Sim.Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_cancel_removes =
+  QCheck2.Test.make ~name:"cancelled events never pop" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 100) (pair (float_range 0. 100.) bool))
+    (fun entries ->
+      let q = Sim.Event_queue.create () in
+      let ids =
+        List.map
+          (fun (time, cancel) -> (Sim.Event_queue.add q ~time ~-1, cancel))
+          entries
+      in
+      let cancelled =
+        List.filter_map
+          (fun (id, cancel) ->
+            if cancel then begin
+              ignore (Sim.Event_queue.cancel q id : bool);
+              Some id
+            end
+            else None)
+          ids
+      in
+      let expected = List.length entries - List.length cancelled in
+      let rec count acc =
+        match Sim.Event_queue.pop q with
+        | None -> acc
+        | Some _ -> count (acc + 1)
+      in
+      count 0 = expected)
+
+let suite =
+  [
+    Alcotest.test_case "pop order" `Quick test_pop_order;
+    Alcotest.test_case "FIFO tie-break" `Quick test_tie_break_fifo;
+    Alcotest.test_case "cancel semantics" `Quick test_cancel;
+    Alcotest.test_case "length tracks live" `Quick test_length_tracks_live;
+    Alcotest.test_case "peek skips cancelled" `Quick test_peek_time_skips_cancelled;
+    QCheck_alcotest.to_alcotest prop_pop_sorted;
+    QCheck_alcotest.to_alcotest prop_cancel_removes;
+  ]

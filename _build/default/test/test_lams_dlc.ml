@@ -1,0 +1,331 @@
+(* LAMS-DLC protocol tests: parameter validation, delivery invariants,
+   error recovery, flow control, enforced recovery and failure
+   detection. *)
+
+let ok_or_fail = function
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected validation error: %s" e
+
+let test_params_validation () =
+  ignore (ok_or_fail (Lams_dlc.Params.validate Lams_dlc.Params.default));
+  let bad w_cp = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp } in
+  (match Lams_dlc.Params.validate (bad 0.) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "w_cp = 0 accepted");
+  (match
+     Lams_dlc.Params.validate
+       { Lams_dlc.Params.default with Lams_dlc.Params.c_depth = 0 }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "c_depth = 0 accepted");
+  (match
+     Lams_dlc.Params.validate
+       { Lams_dlc.Params.default with Lams_dlc.Params.rate_decrease_factor = 1.5 }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rate factor > 1 accepted")
+
+let test_params_derived () =
+  let p = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 0.01; c_depth = 4 } in
+  Alcotest.(check (float 1e-12)) "checkpoint timeout" 0.04
+    (Lams_dlc.Params.checkpoint_timeout p);
+  Alcotest.(check (float 1e-12)) "resolving period" (0.1 +. 0.005 +. 0.04)
+    (Lams_dlc.Params.resolving_period p ~rtt:0.1)
+
+let test_clean_link_delivery () =
+  let t, _session = Proto_harness.lams () in
+  Proto_harness.offer_all t 100;
+  Proto_harness.run_to_completion t;
+  Proto_harness.delivered_exactly_once t 100
+
+let test_lossy_link_zero_loss () =
+  let t, _session = Proto_harness.lams ~ber:1e-4 ~cber:1e-6 () in
+  Proto_harness.offer_all t 500;
+  Proto_harness.run_to_completion t;
+  Proto_harness.delivered_exactly_once t 500;
+  Alcotest.(check int) "metrics agree" 0 (Dlc.Metrics.loss t.Proto_harness.dlc.Dlc.Session.metrics)
+
+let test_retransmissions_happen () =
+  let t, _session = Proto_harness.lams ~ber:1e-4 () in
+  Proto_harness.offer_all t 500;
+  Proto_harness.run_to_completion t;
+  let m = t.Proto_harness.dlc.Dlc.Session.metrics in
+  Alcotest.(check bool) "some retransmissions" true (m.Dlc.Metrics.retransmissions > 0)
+
+let test_no_spurious_retransmissions_on_clean_link () =
+  let t, _session = Proto_harness.lams () in
+  Proto_harness.offer_all t 200;
+  Proto_harness.run_to_completion t;
+  let m = t.Proto_harness.dlc.Dlc.Session.metrics in
+  Alcotest.(check int) "no retransmissions" 0 m.Dlc.Metrics.retransmissions;
+  Alcotest.(check int) "no duplicates" 0 m.Dlc.Metrics.duplicates;
+  Alcotest.(check int) "no enforced recoveries" 0 m.Dlc.Metrics.enforced_recoveries
+
+let test_all_frames_released () =
+  let t, session = Proto_harness.lams ~ber:1e-4 () in
+  Proto_harness.offer_all t 300;
+  Proto_harness.run_to_completion t;
+  ignore session;
+  let m = t.Proto_harness.dlc.Dlc.Session.metrics in
+  (* every offered frame is eventually released from the sending buffer
+     (the last few can be pending the final checkpoint when we stop) *)
+  Alcotest.(check bool) "released most frames" true (m.Dlc.Metrics.released >= 295)
+
+let test_sequence_numbers_strictly_increase () =
+  (* receiver-side check: arrival seqs on a FIFO link never decrease,
+     because retransmissions are renumbered *)
+  let engine = Sim.Engine.create () in
+  let duplex = Proto_harness.make_duplex ~ber:1e-4 engine in
+  let session = Lams_dlc.Session.create engine ~params:Lams_dlc.Params.default ~duplex in
+  let receiver = Lams_dlc.Session.receiver session in
+  let last = ref (-1) in
+  let orig = Channel.Duplex.(duplex.forward) in
+  Channel.Link.set_receiver orig (fun rx ->
+      (match (rx.Channel.Link.frame, rx.Channel.Link.status) with
+      | Frame.Wire.Data i, (Channel.Link.Rx_ok | Channel.Link.Rx_payload_corrupt) ->
+          if i.Frame.Iframe.seq <= !last then
+            Alcotest.failf "seq %d after %d" i.Frame.Iframe.seq !last;
+          last := i.Frame.Iframe.seq
+      | _ -> ());
+      Lams_dlc.Receiver.on_rx receiver rx);
+  let dlc = Lams_dlc.Session.as_dlc session in
+  for i = 0 to 299 do
+    ignore (dlc.Dlc.Session.offer (Proto_harness.payload i) : bool)
+  done;
+  Sim.Engine.run engine ~until:30.;
+  dlc.Dlc.Session.stop ();
+  Sim.Engine.run engine
+
+let test_holding_time_bounded_by_resolving_period () =
+  let params = Lams_dlc.Params.default in
+  let distance = 1_000_000. in
+  let t, _session = Proto_harness.lams ~ber:1e-4 ~distance ~params () in
+  Proto_harness.offer_all t 500;
+  Proto_harness.run_to_completion t;
+  let m = t.Proto_harness.dlc.Dlc.Session.metrics in
+  let rtt = 2. *. distance /. Channel.Link.speed_of_light in
+  let resolving = Lams_dlc.Params.resolving_period params ~rtt in
+  (* each individual *transmission* resolves within the resolving period;
+     a frame whose retransmission is itself retransmitted holds longer,
+     so allow a small multiple *)
+  let bound = 4. *. resolving in
+  let worst = Stats.Online.max m.Dlc.Metrics.holding_time in
+  if worst > bound then
+    Alcotest.failf "holding %g exceeds 4x resolving period %g" worst bound
+
+let test_duplicates_none_without_failure () =
+  let t, _session = Proto_harness.lams ~ber:3e-4 ~cber:1e-5 ~seed:99 () in
+  Proto_harness.offer_all t 400;
+  Proto_harness.run_to_completion t;
+  let m = t.Proto_harness.dlc.Dlc.Session.metrics in
+  Alcotest.(check int) "no duplicate deliveries" 0 m.Dlc.Metrics.duplicates
+
+let test_checkpoint_loss_recovery_depth1 () =
+  (* c_depth = 1 with a noisy control channel: every erroneous frame gets
+     exactly one NAK chance; checkpoint losses must be absorbed by
+     enforced recovery with zero loss *)
+  let params =
+    { Lams_dlc.Params.default with Lams_dlc.Params.c_depth = 1; w_cp = 1e-3 }
+  in
+  let t, _session = Proto_harness.lams ~ber:1e-4 ~cber:2e-4 ~seed:5 ~params () in
+  Proto_harness.offer_all t 400;
+  Proto_harness.run_to_completion t ~horizon:120.;
+  Proto_harness.delivered_exactly_once t 400
+
+let test_blackout_recovery () =
+  let params = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 1e-3 } in
+  let t, session = Proto_harness.lams ~ber:1e-5 ~params () in
+  (* blackout from 5 ms to 15 ms; recovery headroom is ample *)
+  ignore
+    (Sim.Engine.schedule t.Proto_harness.engine ~delay:0.005 (fun () ->
+         Channel.Duplex.set_down t.Proto_harness.duplex));
+  ignore
+    (Sim.Engine.schedule t.Proto_harness.engine ~delay:0.015 (fun () ->
+         Channel.Duplex.set_up t.Proto_harness.duplex));
+  Proto_harness.offer_all t 2000;
+  Proto_harness.run_to_completion t;
+  Proto_harness.delivered_at_least_once t 2000;
+  let sender = Lams_dlc.Session.sender session in
+  Alcotest.(check bool) "not failed" false (Lams_dlc.Sender.failed sender);
+  Alcotest.(check bool) "recovered (not halted)" false (Lams_dlc.Sender.halted sender);
+  Alcotest.(check bool) "enforced recovery ran" true
+    (t.Proto_harness.dlc.Dlc.Session.metrics.Dlc.Metrics.enforced_recoveries > 0)
+
+let test_permanent_blackout_declares_failure () =
+  let params = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 1e-3 } in
+  let t, session = Proto_harness.lams ~params () in
+  ignore
+    (Sim.Engine.schedule t.Proto_harness.engine ~delay:0.005 (fun () ->
+         Channel.Duplex.set_down t.Proto_harness.duplex));
+  Proto_harness.offer_all t 1000;
+  let failure_seen = ref false in
+  Lams_dlc.Sender.set_on_failure (Lams_dlc.Session.sender session) (fun () ->
+      failure_seen := true);
+  Proto_harness.run_to_completion t ~horizon:10.;
+  Alcotest.(check bool) "failure declared" true !failure_seen;
+  Alcotest.(check bool) "sender reports failed" true
+    (Lams_dlc.Sender.failed (Lams_dlc.Session.sender session));
+  (* after failure, offers are refused *)
+  Alcotest.(check bool) "offers refused after failure" false
+    (t.Proto_harness.dlc.Dlc.Session.offer "late")
+
+let test_link_lifetime_gate () =
+  (* recovery that cannot complete within the link lifetime fails fast *)
+  let params =
+    {
+      Lams_dlc.Params.default with
+      Lams_dlc.Params.w_cp = 1e-3;
+      link_lifetime_end = Some 0.012;
+    }
+  in
+  let t, session = Proto_harness.lams ~params () in
+  ignore
+    (Sim.Engine.schedule t.Proto_harness.engine ~delay:0.005 (fun () ->
+         Channel.Duplex.set_down t.Proto_harness.duplex));
+  Proto_harness.offer_all t 100;
+  Proto_harness.run_to_completion t ~horizon:1.;
+  Alcotest.(check bool) "failed within lifetime" true
+    (Lams_dlc.Sender.failed (Lams_dlc.Session.sender session));
+  Alcotest.(check int) "no request-NAK sent (unreachable)" 0
+    t.Proto_harness.dlc.Dlc.Session.metrics.Dlc.Metrics.enforced_recoveries
+
+let test_stop_go_flow_control () =
+  (* a receiver draining slower than the link forces Stop: the sender's
+     rate factor must fall below 1 *)
+  let params =
+    {
+      Lams_dlc.Params.default with
+      Lams_dlc.Params.recv_drain_rate = Some 2000.;
+      recv_high_watermark = 50;
+      recv_low_watermark = 10;
+      w_cp = 1e-3;
+    }
+  in
+  let t, session = Proto_harness.lams ~params () in
+  Proto_harness.offer_all t 2000;
+  Sim.Engine.run t.Proto_harness.engine ~until:0.2;
+  let sender = Lams_dlc.Session.sender session in
+  Alcotest.(check bool) "rate factor reduced" true
+    (Lams_dlc.Sender.rate_factor sender < 1.);
+  let receiver = Lams_dlc.Session.receiver session in
+  Alcotest.(check bool) "receiver signalled stop at some point" true
+    (Lams_dlc.Receiver.stop_state receiver
+    || Lams_dlc.Receiver.queue_length receiver >= 0);
+  t.Proto_harness.dlc.Dlc.Session.stop ();
+  Sim.Engine.run t.Proto_harness.engine
+
+let test_buffer_capacity_refusal () =
+  let params =
+    { Lams_dlc.Params.default with Lams_dlc.Params.send_buffer_capacity = 10 }
+  in
+  let t, _session = Proto_harness.lams ~distance:10_000_000. ~params () in
+  let accepted = ref 0 in
+  for i = 0 to 99 do
+    if t.Proto_harness.dlc.Dlc.Session.offer (Proto_harness.payload i) then
+      incr accepted
+  done;
+  Alcotest.(check int) "exactly capacity accepted" 10 !accepted;
+  Alcotest.(check int) "refusals recorded" 90
+    t.Proto_harness.dlc.Dlc.Session.metrics.Dlc.Metrics.refused;
+  t.Proto_harness.dlc.Dlc.Session.stop ();
+  Sim.Engine.run t.Proto_harness.engine
+
+let test_out_of_order_delivery_possible () =
+  (* with errors, LAMS-DLC may deliver out of order: verify the receiver
+     does NOT reorder (the whole point of relaxing in-sequence) *)
+  let t, _session = Proto_harness.lams ~ber:3e-4 ~seed:11 () in
+  Proto_harness.offer_all t 500;
+  Proto_harness.run_to_completion t;
+  Proto_harness.delivered_exactly_once t 500;
+  let order = List.rev t.Proto_harness.delivery_order in
+  let sorted = List.sort compare order in
+  Alcotest.(check bool) "some reordering occurred" true (order <> sorted)
+
+let test_drain_unresolved_after_failure () =
+  (* permanent blackout: the union of delivered payloads and the drained
+     buffer must cover every offer, and nothing marked Not_delivered may
+     actually have been delivered — the §3.3 handoff guarantee *)
+  let params = { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 1e-3 } in
+  let t, session = Proto_harness.lams ~ber:1e-4 ~params ~seed:17 () in
+  ignore
+    (Sim.Engine.schedule t.Proto_harness.engine ~delay:0.01 (fun () ->
+         Channel.Duplex.set_down t.Proto_harness.duplex));
+  (* 1 kB payloads: serialisation is slow enough that the blackout halts
+     the sender while frames still wait in the fresh queue *)
+  let big_payload i = Workload.Arrivals.default_payload ~size:1024 i in
+  for i = 0 to 1499 do
+    if not (t.Proto_harness.dlc.Dlc.Session.offer (big_payload i)) then
+      Alcotest.failf "offer %d refused" i
+  done;
+  Proto_harness.run_to_completion t ~horizon:5.;
+  let sender = Lams_dlc.Session.sender session in
+  Alcotest.(check bool) "failed" true (Lams_dlc.Sender.failed sender);
+  let drained = Lams_dlc.Sender.drain_unresolved sender in
+  Alcotest.(check int) "buffer emptied" 0 (Lams_dlc.Sender.backlog sender);
+  let handed = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      Hashtbl.replace handed u.Lams_dlc.Sender.payload u.Lams_dlc.Sender.verdict)
+    drained;
+  let suspicious = ref 0 and not_delivered = ref 0 in
+  for i = 0 to 1499 do
+    let p = big_payload i in
+    let delivered = Hashtbl.mem t.Proto_harness.delivered p in
+    match Hashtbl.find_opt handed p with
+    | Some `Suspicious -> incr suspicious
+    | Some `Not_delivered ->
+        incr not_delivered;
+        if delivered then
+          Alcotest.failf "payload %d marked Not_delivered but was delivered" i
+    | None ->
+        if not delivered then Alcotest.failf "payload %d lost entirely" i
+  done;
+  Alcotest.(check bool) "some frames were suspicious" true (!suspicious > 0);
+  Alcotest.(check bool) "some frames were definitely undelivered" true
+    (!not_delivered > 0)
+
+let prop_zero_loss_across_seeds =
+  QCheck2.Test.make ~name:"zero loss for any seed and error rate" ~count:25
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 30))
+    (fun (seed, ber_scale) ->
+      let ber = float_of_int ber_scale *. 1e-5 in
+      let t, _session = Proto_harness.lams ~seed ~ber ~cber:(ber /. 10.) () in
+      Proto_harness.offer_all t 120;
+      Proto_harness.run_to_completion t ~horizon:120.;
+      let ok = ref true in
+      for i = 0 to 119 do
+        if not (Hashtbl.mem t.Proto_harness.delivered (Proto_harness.payload i))
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "params derived" `Quick test_params_derived;
+    Alcotest.test_case "clean link delivery" `Quick test_clean_link_delivery;
+    Alcotest.test_case "lossy link zero loss" `Quick test_lossy_link_zero_loss;
+    Alcotest.test_case "retransmissions happen" `Quick test_retransmissions_happen;
+    Alcotest.test_case "clean link: no spurious retx" `Quick
+      test_no_spurious_retransmissions_on_clean_link;
+    Alcotest.test_case "all frames released" `Quick test_all_frames_released;
+    Alcotest.test_case "seqnums strictly increase" `Quick
+      test_sequence_numbers_strictly_increase;
+    Alcotest.test_case "holding bounded" `Quick
+      test_holding_time_bounded_by_resolving_period;
+    Alcotest.test_case "no duplicates without failure" `Quick
+      test_duplicates_none_without_failure;
+    Alcotest.test_case "c_depth=1 checkpoint-loss recovery" `Quick
+      test_checkpoint_loss_recovery_depth1;
+    Alcotest.test_case "blackout recovery" `Quick test_blackout_recovery;
+    Alcotest.test_case "permanent blackout fails" `Quick
+      test_permanent_blackout_declares_failure;
+    Alcotest.test_case "link lifetime gate" `Quick test_link_lifetime_gate;
+    Alcotest.test_case "stop-go flow control" `Quick test_stop_go_flow_control;
+    Alcotest.test_case "buffer capacity refusal" `Quick test_buffer_capacity_refusal;
+    Alcotest.test_case "out-of-order delivery" `Quick
+      test_out_of_order_delivery_possible;
+    Alcotest.test_case "drain after failure" `Quick
+      test_drain_unresolved_after_failure;
+    QCheck_alcotest.to_alcotest prop_zero_loss_across_seeds;
+  ]

@@ -1,0 +1,29 @@
+(* Aggregate test runner: one alcotest section per module under test. *)
+
+let () =
+  Alcotest.run "lams-dlc-repro"
+    [
+      ("rng", Test_rng.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("engine", Test_engine.suite);
+      ("stats", Test_stats.suite);
+      ("seqnum", Test_seqnum.suite);
+      ("crc", Test_crc.suite);
+      ("codec", Test_codec.suite);
+      ("fec", Test_fec.suite);
+      ("reed-solomon", Test_reed_solomon.suite);
+      ("channel", Test_channel.suite);
+      ("orbit", Test_orbit.suite);
+      ("dlc-metrics", Test_dlc.suite);
+      ("lams-dlc", Test_lams_dlc.suite);
+      ("lams-receiver-unit", Test_lams_receiver_unit.suite);
+      ("hdlc", Test_hdlc.suite);
+      ("hdlc-receiver-unit", Test_hdlc_receiver_unit.suite);
+      ("hdlc-sender-unit", Test_hdlc_sender_unit.suite);
+      ("nbdt", Test_nbdt.suite);
+      ("nbdt-receiver-unit", Test_nbdt_receiver_unit.suite);
+      ("analysis", Test_analysis.suite);
+      ("netstack", Test_netstack.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+    ]

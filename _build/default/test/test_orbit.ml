@@ -1,0 +1,266 @@
+(* Orbit substrate tests: vectors, circular orbits, geometry,
+   constellations, contact windows. *)
+
+let feq name ?(eps = 1e-6) a b =
+  if Float.abs (a -. b) > eps *. (1. +. Float.abs b) then
+    Alcotest.failf "%s: %g != %g" name a b
+
+let test_vec3_ops () =
+  let a = Orbit.Vec3.make 1. 2. 3. and b = Orbit.Vec3.make 4. (-5.) 6. in
+  feq "dot" (Orbit.Vec3.dot a b) 12.;
+  let c = Orbit.Vec3.cross a b in
+  feq "cross x" c.Orbit.Vec3.x 27.;
+  feq "cross y" c.Orbit.Vec3.y 6.;
+  feq "cross z" c.Orbit.Vec3.z (-13.);
+  feq "norm" (Orbit.Vec3.norm (Orbit.Vec3.make 3. 4. 0.)) 5.;
+  feq "distance" (Orbit.Vec3.distance a a) 0.
+
+let test_vec3_normalize () =
+  let v = Orbit.Vec3.normalize (Orbit.Vec3.make 0. 0. 9.) in
+  feq "unit" (Orbit.Vec3.norm v) 1.;
+  Alcotest.check_raises "zero vector" (Invalid_argument "Vec3.normalize: zero vector")
+    (fun () -> ignore (Orbit.Vec3.normalize Orbit.Vec3.zero))
+
+let leo =
+  Orbit.Circular_orbit.create ~altitude_m:1_000_000. ~inclination_rad:1.0
+    ~raan_rad:0.5 ~phase_rad:0. ()
+
+let test_orbit_radius_constant () =
+  let a = Orbit.Circular_orbit.semi_major_axis leo in
+  List.iter
+    (fun t ->
+      feq "radius" (Orbit.Vec3.norm (Orbit.Circular_orbit.position leo ~at:t)) a)
+    [ 0.; 100.; 1234.; 99999. ]
+
+let test_orbit_period () =
+  (* ~1000 km LEO: period about 105 minutes *)
+  let p = Orbit.Circular_orbit.period leo in
+  if p < 6000. || p > 6600. then Alcotest.failf "period %g out of LEO range" p;
+  (* position repeats after one period *)
+  let p0 = Orbit.Circular_orbit.position leo ~at:0. in
+  let p1 = Orbit.Circular_orbit.position leo ~at:p in
+  feq "periodic" (Orbit.Vec3.distance p0 p1 /. Orbit.Vec3.norm p0) 0. ~eps:1e-6
+
+let test_orbit_velocity () =
+  (* circular speed = sqrt(mu/a) ~ 7.35 km/s at 1000 km *)
+  let v = Orbit.Vec3.norm (Orbit.Circular_orbit.velocity leo ~at:42.) in
+  let expected =
+    sqrt (Orbit.Circular_orbit.mu_earth /. Orbit.Circular_orbit.semi_major_axis leo)
+  in
+  feq "circular speed" v expected ~eps:1e-9;
+  (* velocity is tangent: orthogonal to position *)
+  let p = Orbit.Circular_orbit.position leo ~at:42. in
+  let vv = Orbit.Circular_orbit.velocity leo ~at:42. in
+  feq "tangent" (Orbit.Vec3.dot p vv /. (Orbit.Vec3.norm p *. Orbit.Vec3.norm vv)) 0.
+    ~eps:1e-9
+
+let test_velocity_matches_numeric_derivative () =
+  let dt = 1e-3 in
+  let p0 = Orbit.Circular_orbit.position leo ~at:10. in
+  let p1 = Orbit.Circular_orbit.position leo ~at:(10. +. dt) in
+  let v = Orbit.Circular_orbit.velocity leo ~at:10. in
+  let numeric = Orbit.Vec3.scale (1. /. dt) (Orbit.Vec3.sub p1 p0) in
+  feq "numeric derivative" (Orbit.Vec3.distance v numeric /. Orbit.Vec3.norm v) 0.
+    ~eps:1e-4
+
+let test_line_of_sight () =
+  let o1 =
+    Orbit.Circular_orbit.create ~altitude_m:1_000_000. ~inclination_rad:0.
+      ~raan_rad:0. ~phase_rad:0. ()
+  in
+  (* same plane, 0.5 rad apart: chord clears the Earth comfortably *)
+  let o2 = { o1 with Orbit.Circular_orbit.phase_rad = 0.5 } in
+  Alcotest.(check bool) "0.5 rad apart visible" true
+    (Orbit.Geometry.line_of_sight o1 o2 ~at:0.);
+  (* quarter orbit apart at 1000 km the chord dips below the surface *)
+  let o2q = { o1 with Orbit.Circular_orbit.phase_rad = Float.pi /. 2. } in
+  Alcotest.(check bool) "quarter apart occluded" false
+    (Orbit.Geometry.line_of_sight o1 o2q ~at:0.);
+  (* antipodal: Earth in the way *)
+  let o3 = { o1 with Orbit.Circular_orbit.phase_rad = Float.pi } in
+  Alcotest.(check bool) "antipodal occluded" false
+    (Orbit.Geometry.line_of_sight o1 o3 ~at:0.)
+
+let test_min_segment_altitude () =
+  let r = Orbit.Circular_orbit.earth_radius_m in
+  let a = Orbit.Vec3.make (r +. 1000.) 0. 0. in
+  let b = Orbit.Vec3.make (-.(r +. 1000.)) 0. 0. in
+  (* segment passes through the geocentre *)
+  feq "through centre" (Orbit.Geometry.min_segment_altitude a b) (-.r) ~eps:1e-9;
+  (* endpoints only: altitude = 1000 m *)
+  feq "endpoint altitude" (Orbit.Geometry.min_segment_altitude a a) 1000. ~eps:1e-9
+
+let test_walker_structure () =
+  let c =
+    Orbit.Constellation.walker ~total:12 ~planes:3 ~phasing:1
+      ~altitude_m:1_000_000. ~inclination_rad:1.2
+  in
+  Alcotest.(check int) "size" 12 (Orbit.Constellation.size c);
+  let sat5 = Orbit.Constellation.sat c 5 in
+  Alcotest.(check int) "plane of 5" 1 sat5.Orbit.Constellation.plane;
+  Alcotest.(check int) "index of 5" 1 sat5.Orbit.Constellation.index_in_plane;
+  (* neighbours: two intra-plane, two inter-plane *)
+  let n = Orbit.Constellation.neighbors c 5 in
+  Alcotest.(check int) "4 neighbours" 4 (List.length n);
+  Alcotest.(check bool) "intra fwd" true (List.mem 6 n);
+  Alcotest.(check bool) "intra bwd" true (List.mem 4 n);
+  Alcotest.(check bool) "inter left" true (List.mem 1 n);
+  Alcotest.(check bool) "inter right" true (List.mem 9 n)
+
+let test_walker_bad_args () =
+  Alcotest.check_raises "indivisible"
+    (Invalid_argument "Constellation.walker: total must divide evenly into planes")
+    (fun () ->
+      ignore
+        (Orbit.Constellation.walker ~total:10 ~planes:3 ~phasing:0
+           ~altitude_m:1e6 ~inclination_rad:1.))
+
+let test_walker_neighbors_visible () =
+  (* intra-plane neighbours of an 8-per-plane ring are close enough to see *)
+  let c =
+    Orbit.Constellation.walker ~total:24 ~planes:3 ~phasing:0
+      ~altitude_m:1_200_000. ~inclination_rad:1.0
+  in
+  let s0 = Orbit.Constellation.sat c 0 and s1 = Orbit.Constellation.sat c 1 in
+  Alcotest.(check bool) "ring neighbours visible" true
+    (Orbit.Geometry.line_of_sight s0.Orbit.Constellation.orbit
+       s1.Orbit.Constellation.orbit ~at:0.)
+
+let test_visible_pairs_symmetric_content () =
+  let c =
+    Orbit.Constellation.walker ~total:6 ~planes:2 ~phasing:0 ~altitude_m:1e6
+      ~inclination_rad:0.9
+  in
+  let pairs = Orbit.Constellation.visible_pairs c ~at:100. in
+  List.iter
+    (fun (i, j) ->
+      if i >= j then Alcotest.failf "pair not ordered: (%d, %d)" i j;
+      Alcotest.(check bool) "pair is actually visible" true
+        (Orbit.Geometry.line_of_sight
+           (Orbit.Constellation.sat c i).Orbit.Constellation.orbit
+           (Orbit.Constellation.sat c j).Orbit.Constellation.orbit ~at:100.))
+    pairs
+
+let test_contact_windows_coplanar () =
+  (* co-planar neighbours never lose sight: one window spanning the
+     whole horizon *)
+  let o1 =
+    Orbit.Circular_orbit.create ~altitude_m:1e6 ~inclination_rad:0.7 ~raan_rad:0.
+      ~phase_rad:0. ()
+  in
+  let o2 = { o1 with Orbit.Circular_orbit.phase_rad = 0.5 } in
+  match Orbit.Contact.windows o1 o2 ~from_t:0. ~until_t:5000. with
+  | [ w ] ->
+      Alcotest.(check (float 1e-6)) "starts at 0" 0. w.Orbit.Contact.t_start;
+      Alcotest.(check (float 1e-6)) "ends at horizon" 5000. w.Orbit.Contact.t_end
+  | ws -> Alcotest.failf "expected one window, got %d" (List.length ws)
+
+let test_contact_windows_crossing () =
+  (* counter-phased satellites in the same plane alternate between
+     visible and occluded: multiple windows *)
+  let o1 =
+    Orbit.Circular_orbit.create ~altitude_m:1e6 ~inclination_rad:0.7 ~raan_rad:0.
+      ~phase_rad:0. ()
+  in
+  let o2 =
+    Orbit.Circular_orbit.create ~altitude_m:2e6 ~inclination_rad:0.7
+      ~raan_rad:Float.pi ~phase_rad:1.3 ()
+  in
+  let horizon = 4. *. Orbit.Circular_orbit.period o1 in
+  let ws = Orbit.Contact.windows o1 o2 ~from_t:0. ~until_t:horizon in
+  if List.length ws < 2 then
+    Alcotest.failf "expected multiple windows, got %d" (List.length ws);
+  (* windows are disjoint and ordered *)
+  let rec check_disjoint = function
+    | a :: (b :: _ as rest) ->
+        if a.Orbit.Contact.t_end > b.Orbit.Contact.t_start then
+          Alcotest.fail "overlapping windows";
+        check_disjoint rest
+    | _ -> ()
+  in
+  check_disjoint ws;
+  List.iter
+    (fun w ->
+      if Orbit.Contact.duration w <= 0. then Alcotest.fail "empty window")
+    ws
+
+let test_j2_precession () =
+  let base ~j2 =
+    Orbit.Circular_orbit.create ~j2 ~altitude_m:800_000.
+      ~inclination_rad:(98.6 *. Float.pi /. 180.)
+      ~raan_rad:0. ~phase_rad:0. ()
+  in
+  let off = base ~j2:false and on = base ~j2:true in
+  feq "no drift without j2" (Orbit.Circular_orbit.raan_rate off) 0. ~eps:1e-18;
+  (* sun-synchronous test case: ~800 km at 98.6 deg regresses EASTWARD at
+     about +1.99e-7 rad/s (2 pi per year) *)
+  let rate = Orbit.Circular_orbit.raan_rate on in
+  if rate < 1.5e-7 || rate > 2.5e-7 then
+    Alcotest.failf "sun-sync raan rate %g not ~2e-7" rate;
+  (* prograde LEO regresses westward *)
+  let prograde =
+    Orbit.Circular_orbit.create ~j2:true ~altitude_m:1e6 ~inclination_rad:0.9
+      ~raan_rad:0. ~phase_rad:0. ()
+  in
+  Alcotest.(check bool) "prograde drifts westward" true
+    (Orbit.Circular_orbit.raan_rate prograde < 0.);
+  (* the drift actually moves the plane: position after a day differs
+     from the j2-off propagation by many kilometres *)
+  let day = 86_400. in
+  let d =
+    Orbit.Vec3.distance
+      (Orbit.Circular_orbit.position on ~at:day)
+      (Orbit.Circular_orbit.position off ~at:day)
+  in
+  Alcotest.(check bool) "plane moved" true (d > 10_000.);
+  (* radius is still constant under J2 *)
+  feq "radius constant"
+    (Orbit.Vec3.norm (Orbit.Circular_orbit.position on ~at:day))
+    (Orbit.Circular_orbit.semi_major_axis on)
+
+let test_contact_usable () =
+  let w = { Orbit.Contact.t_start = 10.; t_end = 20. } in
+  (match Orbit.Contact.usable w ~retarget_overhead:4. with
+  | Some w' ->
+      Alcotest.(check (float 1e-9)) "shrunk start" 14. w'.Orbit.Contact.t_start
+  | None -> Alcotest.fail "window should remain");
+  Alcotest.(check bool) "consumed window" true
+    (Orbit.Contact.usable w ~retarget_overhead:10. = None)
+
+let test_contact_distances () =
+  let o1 =
+    Orbit.Circular_orbit.create ~altitude_m:1e6 ~inclination_rad:0.7 ~raan_rad:0.
+      ~phase_rad:0. ()
+  in
+  let o2 = { o1 with Orbit.Circular_orbit.phase_rad = 0.5 } in
+  let w = { Orbit.Contact.t_start = 0.; t_end = 1000. } in
+  let mean = Orbit.Contact.mean_distance o1 o2 w ~samples:50 in
+  let dmax = Orbit.Contact.max_distance o1 o2 w ~samples:50 in
+  (* co-planar constant separation: mean == max == chord distance *)
+  feq "mean = max for rigid pair" mean dmax ~eps:1e-9;
+  let chord =
+    2. *. Orbit.Circular_orbit.semi_major_axis o1 *. sin 0.25
+  in
+  feq "chord distance" mean chord ~eps:1e-6
+
+let suite =
+  [
+    Alcotest.test_case "vec3 ops" `Quick test_vec3_ops;
+    Alcotest.test_case "vec3 normalize" `Quick test_vec3_normalize;
+    Alcotest.test_case "orbit radius constant" `Quick test_orbit_radius_constant;
+    Alcotest.test_case "orbit period" `Quick test_orbit_period;
+    Alcotest.test_case "orbit velocity" `Quick test_orbit_velocity;
+    Alcotest.test_case "velocity = numeric derivative" `Quick
+      test_velocity_matches_numeric_derivative;
+    Alcotest.test_case "line of sight" `Quick test_line_of_sight;
+    Alcotest.test_case "min segment altitude" `Quick test_min_segment_altitude;
+    Alcotest.test_case "walker structure" `Quick test_walker_structure;
+    Alcotest.test_case "walker bad args" `Quick test_walker_bad_args;
+    Alcotest.test_case "walker neighbours visible" `Quick test_walker_neighbors_visible;
+    Alcotest.test_case "visible pairs" `Quick test_visible_pairs_symmetric_content;
+    Alcotest.test_case "contact windows coplanar" `Quick test_contact_windows_coplanar;
+    Alcotest.test_case "contact windows crossing" `Quick test_contact_windows_crossing;
+    Alcotest.test_case "J2 precession" `Quick test_j2_precession;
+    Alcotest.test_case "contact usable" `Quick test_contact_usable;
+    Alcotest.test_case "contact distances" `Quick test_contact_distances;
+  ]

@@ -1,0 +1,157 @@
+(* Unit and property tests for Sim.Rng (SplitMix64). *)
+
+let test_determinism () =
+  let a = Sim.Rng.create ~seed:123 and b = Sim.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Sim.Rng.bits64 a = Sim.Rng.bits64 b)
+
+let test_copy_preserves_state () =
+  let a = Sim.Rng.create ~seed:7 in
+  ignore (Sim.Rng.bits64 a : int64);
+  let b = Sim.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Sim.Rng.bits64 a)
+    (Sim.Rng.bits64 b)
+
+let test_split_independence () =
+  let a = Sim.Rng.create ~seed:9 in
+  let child = Sim.Rng.split a in
+  (* child and parent produce different streams *)
+  Alcotest.(check bool) "split differs from parent" false
+    (Sim.Rng.bits64 child = Sim.Rng.bits64 a)
+
+let test_unit_float_range () =
+  let r = Sim.Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.unit_float r in
+    if not (x >= 0. && x < 1.) then
+      Alcotest.failf "unit_float out of range: %g" x
+  done
+
+let test_int_bounds () =
+  let r = Sim.Rng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_bernoulli_extremes () =
+  let r = Sim.Rng.create ~seed:8 in
+  Alcotest.(check bool) "p=0 never true" false (Sim.Rng.bernoulli r ~p:0.);
+  Alcotest.(check bool) "p=1 always true" true (Sim.Rng.bernoulli r ~p:1.)
+
+let test_bernoulli_mean () =
+  let r = Sim.Rng.create ~seed:10 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Sim.Rng.bernoulli r ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  if Float.abs (freq -. 0.3) > 0.01 then
+    Alcotest.failf "bernoulli(0.3) frequency %g too far off" freq
+
+let test_exponential_mean () =
+  let r = Sim.Rng.create ~seed:11 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Sim.Rng.exponential r ~mean:2.5
+  done;
+  let mean = !acc /. float_of_int n in
+  if Float.abs (mean -. 2.5) > 0.05 then
+    Alcotest.failf "exponential mean %g != 2.5" mean
+
+let test_geometric_support_and_mean () =
+  let r = Sim.Rng.create ~seed:12 in
+  let n = 50_000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    let k = Sim.Rng.geometric r ~p:0.25 in
+    if k < 1 then Alcotest.failf "geometric < 1: %d" k;
+    acc := !acc + k
+  done;
+  let mean = float_of_int !acc /. float_of_int n in
+  if Float.abs (mean -. 4.) > 0.1 then
+    Alcotest.failf "geometric(0.25) mean %g != 4" mean
+
+let test_geometric_p1 () =
+  let r = Sim.Rng.create ~seed:13 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 gives 1" 1 (Sim.Rng.geometric r ~p:1.)
+  done
+
+let test_binomial_small_exact_range () =
+  let r = Sim.Rng.create ~seed:14 in
+  for _ = 1 to 1000 do
+    let k = Sim.Rng.binomial r ~n:20 ~p:0.5 in
+    if k < 0 || k > 20 then Alcotest.failf "binomial out of range: %d" k
+  done
+
+let test_binomial_large_mean () =
+  let r = Sim.Rng.create ~seed:15 in
+  let trials = 2000 in
+  let acc = ref 0 in
+  for _ = 1 to trials do
+    acc := !acc + Sim.Rng.binomial r ~n:10_000 ~p:0.01
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  (* expected 100, sd per trial ~10, sd of the mean ~0.22 *)
+  if Float.abs (mean -. 100.) > 2. then
+    Alcotest.failf "binomial(10000, 0.01) mean %g != 100" mean
+
+let test_binomial_edges () =
+  let r = Sim.Rng.create ~seed:16 in
+  Alcotest.(check int) "n=0" 0 (Sim.Rng.binomial r ~n:0 ~p:0.5);
+  Alcotest.(check int) "p=0" 0 (Sim.Rng.binomial r ~n:100 ~p:0.);
+  Alcotest.(check int) "p=1" 100 (Sim.Rng.binomial r ~n:100 ~p:1.)
+
+let test_shuffle_is_permutation () =
+  let r = Sim.Rng.create ~seed:17 in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let prop_int_in_bounds =
+  QCheck2.Test.make ~name:"rng int always in [0,n)" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1_000_000) int)
+    (fun (n, seed) ->
+      let r = Sim.Rng.create ~seed in
+      let x = Sim.Rng.int r n in
+      x >= 0 && x < n)
+
+let prop_float_in_bounds =
+  QCheck2.Test.make ~name:"rng float always in [0,x)" ~count:500
+    QCheck2.Gen.(pair (float_range 1e-6 1e6) int)
+    (fun (x, seed) ->
+      let r = Sim.Rng.create ~seed in
+      let v = Sim.Rng.float r x in
+      v >= 0. && v < x)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves_state;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli mean" `Slow test_bernoulli_mean;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "geometric support+mean" `Slow test_geometric_support_and_mean;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+    Alcotest.test_case "binomial small range" `Quick test_binomial_small_exact_range;
+    Alcotest.test_case "binomial large mean" `Slow test_binomial_large_mean;
+    Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_float_in_bounds;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the stats substrate: online accumulators, histograms,
+   series and tables. *)
+
+let feq name ?(eps = 1e-9) a b =
+  if Float.abs (a -. b) > eps then Alcotest.failf "%s: %g != %g" name a b
+
+let test_online_basics () =
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Online.count o);
+  feq "mean" (Stats.Online.mean o) 5.;
+  feq "variance" ~eps:1e-9 (Stats.Online.variance o) (32. /. 7.);
+  feq "min" (Stats.Online.min o) 2.;
+  feq "max" (Stats.Online.max o) 9.;
+  feq "sum" (Stats.Online.sum o) 40.
+
+let test_online_empty () =
+  let o = Stats.Online.create () in
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Stats.Online.mean o));
+  feq "variance 0" (Stats.Online.variance o) 0.;
+  feq "ci 0" (Stats.Online.ci95_halfwidth o) 0.
+
+let test_online_single () =
+  let o = Stats.Online.create () in
+  Stats.Online.add o 42.;
+  feq "mean" (Stats.Online.mean o) 42.;
+  feq "variance" (Stats.Online.variance o) 0.
+
+let test_online_merge () =
+  let a = Stats.Online.create () and b = Stats.Online.create () in
+  let whole = Stats.Online.create () in
+  let data = List.init 100 (fun i -> float_of_int (((i * 37) mod 11) - 5)) in
+  List.iteri
+    (fun i x ->
+      Stats.Online.add whole x;
+      Stats.Online.add (if i mod 2 = 0 then a else b) x)
+    data;
+  let merged = Stats.Online.merge a b in
+  Alcotest.(check int) "count" (Stats.Online.count whole) (Stats.Online.count merged);
+  feq "mean" ~eps:1e-9 (Stats.Online.mean whole) (Stats.Online.mean merged);
+  feq "variance" ~eps:1e-9 (Stats.Online.variance whole) (Stats.Online.variance merged);
+  feq "min" (Stats.Online.min whole) (Stats.Online.min merged);
+  feq "max" (Stats.Online.max whole) (Stats.Online.max merged)
+
+let test_online_merge_empty () =
+  let a = Stats.Online.create () and b = Stats.Online.create () in
+  Stats.Online.add b 3.;
+  let m1 = Stats.Online.merge a b and m2 = Stats.Online.merge b a in
+  feq "empty-left mean" (Stats.Online.mean m1) 3.;
+  feq "empty-right mean" (Stats.Online.mean m2) 3.
+
+let prop_merge_equals_whole =
+  QCheck2.Test.make ~name:"online merge == single accumulator" ~count:200
+    QCheck2.Gen.(pair (list (float_range (-1000.) 1000.)) (list (float_range (-1000.) 1000.)))
+    (fun (xs, ys) ->
+      let a = Stats.Online.create () and b = Stats.Online.create () in
+      let whole = Stats.Online.create () in
+      List.iter (fun x -> Stats.Online.add a x; Stats.Online.add whole x) xs;
+      List.iter (fun y -> Stats.Online.add b y; Stats.Online.add whole y) ys;
+      let m = Stats.Online.merge a b in
+      Stats.Online.count m = Stats.Online.count whole
+      && (Stats.Online.count m = 0
+         || Float.abs (Stats.Online.mean m -. Stats.Online.mean whole)
+            <= 1e-6 *. (1. +. Float.abs (Stats.Online.mean whole))))
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -1.; 10.; 15. ];
+  Alcotest.(check int) "count" 7 (Stats.Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Stats.Histogram.overflow h);
+  Alcotest.(check int) "bin 0" 1 (Stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Stats.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (Stats.Histogram.bin_count h 9)
+
+let test_histogram_bounds () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  let lo, hi = Stats.Histogram.bin_bounds h 1 in
+  feq "bin lo" lo 0.25;
+  feq "bin hi" hi 0.5;
+  Alcotest.check_raises "bad bin" (Invalid_argument "Histogram.bin_bounds: index out of range")
+    (fun () -> ignore (Stats.Histogram.bin_bounds h 4))
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:100. ~bins:100 in
+  for i = 0 to 99 do
+    Stats.Histogram.add h (float_of_int i +. 0.5)
+  done;
+  let p50 = Stats.Histogram.percentile h 50. in
+  if Float.abs (p50 -. 50.) > 1.5 then Alcotest.failf "p50 = %g" p50;
+  let p95 = Stats.Histogram.percentile h 95. in
+  if Float.abs (p95 -. 95.) > 1.5 then Alcotest.failf "p95 = %g" p95
+
+let test_histogram_empty_percentile () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check bool) "nan when empty" true
+    (Float.is_nan (Stats.Histogram.percentile h 50.))
+
+let test_series_roundtrip () =
+  let s = Stats.Series.create ~name:"x" in
+  Stats.Series.add s ~x:1. ~y:10.;
+  Stats.Series.add s ~x:2. ~y:20.;
+  Alcotest.(check int) "length" 2 (Stats.Series.length s);
+  Alcotest.(check (list (float 1e-9))) "xs" [ 1.; 2. ] (Stats.Series.xs s);
+  Alcotest.(check (list (float 1e-9))) "ys" [ 10.; 20. ] (Stats.Series.ys s);
+  let doubled = Stats.Series.map_y s ~f:(fun y -> 2. *. y) in
+  Alcotest.(check (list (float 1e-9))) "map_y" [ 20.; 40. ] (Stats.Series.ys doubled)
+
+let test_series_table_renders () =
+  let a = Stats.Series.create ~name:"a" and b = Stats.Series.create ~name:"b" in
+  Stats.Series.add a ~x:1. ~y:2.;
+  Stats.Series.add b ~x:1. ~y:3.;
+  let out = Format.asprintf "%a" Stats.Series.pp_table [ a; b ] in
+  Alcotest.(check bool) "has header a" true
+    (Astring.String.is_infix ~affix:"a" out);
+  Alcotest.(check bool) "nonempty" true (String.length out > 10)
+
+let test_series_ascii_plot () =
+  let s1 = Stats.Series.create ~name:"up" in
+  for i = 0 to 9 do
+    Stats.Series.add s1 ~x:(float_of_int i) ~y:(float_of_int (i * i))
+  done;
+  let out = Format.asprintf "%a" (fun ppf l -> Stats.Series.pp_ascii_plot ppf l) [ s1 ] in
+  Alcotest.(check bool) "axis ranges shown" true
+    (Astring.String.is_infix ~affix:"y: [0, 81]" out);
+  Alcotest.(check bool) "marker drawn" true (Astring.String.is_infix ~affix:"1" out);
+  (* empty input does not raise *)
+  let empty = Format.asprintf "%a" (fun ppf l -> Stats.Series.pp_ascii_plot ppf l) [] in
+  Alcotest.(check bool) "empty handled" true (String.length empty > 0)
+
+let test_table_render () =
+  let t = Stats.Table.create ~header:[ "name"; "value" ] in
+  Stats.Table.add_row t [ "x"; "1" ];
+  Stats.Table.add_float_row t "y" [ 2.5 ];
+  let s = Stats.Table.to_string t in
+  Alcotest.(check bool) "header present" true (Astring.String.is_infix ~affix:"name" s);
+  Alcotest.(check bool) "row x" true (Astring.String.is_infix ~affix:"x" s);
+  Alcotest.(check bool) "float formatted" true (Astring.String.is_infix ~affix:"2.5" s)
+
+let test_table_ragged_rows () =
+  let t = Stats.Table.create ~header:[ "a" ] in
+  Stats.Table.add_row t [ "1"; "2"; "3" ];
+  Stats.Table.add_row t [];
+  let s = Stats.Table.to_string t in
+  Alcotest.(check bool) "extends columns" true (Astring.String.is_infix ~affix:"3" s)
+
+let suite =
+  [
+    Alcotest.test_case "online basics" `Quick test_online_basics;
+    Alcotest.test_case "online empty" `Quick test_online_empty;
+    Alcotest.test_case "online single" `Quick test_online_single;
+    Alcotest.test_case "online merge" `Quick test_online_merge;
+    Alcotest.test_case "online merge empty" `Quick test_online_merge_empty;
+    QCheck_alcotest.to_alcotest prop_merge_equals_whole;
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basic;
+    Alcotest.test_case "histogram bounds" `Quick test_histogram_bounds;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "histogram empty percentile" `Quick test_histogram_empty_percentile;
+    Alcotest.test_case "series roundtrip" `Quick test_series_roundtrip;
+    Alcotest.test_case "series table" `Quick test_series_table_renders;
+    Alcotest.test_case "series ascii plot" `Quick test_series_ascii_plot;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+  ]

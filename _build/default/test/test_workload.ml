@@ -1,0 +1,125 @@
+(* Workload generator tests. *)
+
+let null_session () =
+  let metrics = Dlc.Metrics.create () in
+  let accepted = ref [] in
+  let refuse = ref false in
+  let session =
+    {
+      Dlc.Session.name = "null";
+      offer =
+        (fun p ->
+          if !refuse then false
+          else begin
+            accepted := p :: !accepted;
+            true
+          end);
+      set_on_deliver = (fun _ -> ());
+      sender_backlog = (fun () -> 0);
+      stop = (fun () -> ());
+      metrics;
+    }
+  in
+  (session, accepted, refuse)
+
+let test_default_payload () =
+  let p = Workload.Arrivals.default_payload ~size:64 42 in
+  Alcotest.(check int) "size" 64 (String.length p);
+  Alcotest.(check bool) "distinct per index" true
+    (p <> Workload.Arrivals.default_payload ~size:64 43);
+  let tiny = Workload.Arrivals.default_payload ~size:4 1 in
+  Alcotest.(check int) "tiny size" 4 (String.length tiny)
+
+let test_deterministic_timing () =
+  let engine = Sim.Engine.create () in
+  let session, accepted, _ = null_session () in
+  let gen =
+    Workload.Arrivals.deterministic engine ~session ~rate:100. ~count:5
+      ~payload:(Printf.sprintf "p%d")
+  in
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all offered" 5 (Workload.Arrivals.count_offered gen);
+  Alcotest.(check bool) "finished" true (Workload.Arrivals.finished gen);
+  Alcotest.(check int) "all accepted" 5 (List.length !accepted);
+  (* 5 arrivals at 100/s: last at t = 40 ms *)
+  Alcotest.(check (float 1e-9)) "spacing" 0.04 (Sim.Engine.now engine)
+
+let test_deterministic_retries_on_refusal () =
+  let engine = Sim.Engine.create () in
+  let session, accepted, refuse = null_session () in
+  refuse := true;
+  let gen =
+    Workload.Arrivals.deterministic engine ~session ~rate:1000. ~count:3
+      ~payload:(Printf.sprintf "p%d")
+  in
+  ignore (Sim.Engine.schedule engine ~delay:0.01 (fun () -> refuse := false));
+  Sim.Engine.run engine ~until:1.;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "finished eventually" true (Workload.Arrivals.finished gen);
+  Alcotest.(check (list string)) "in order without loss" [ "p0"; "p1"; "p2" ]
+    (List.rev !accepted)
+
+let test_poisson_counts () =
+  let engine = Sim.Engine.create () in
+  let session, _, _ = null_session () in
+  let gen =
+    Workload.Arrivals.poisson engine
+      ~rng:(Sim.Rng.create ~seed:3)
+      ~session ~rate:1000. ~count:200
+      ~payload:(Printf.sprintf "p%d")
+  in
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all offered" 200 (Workload.Arrivals.count_offered gen);
+  (* 200 arrivals at 1000/s: expect ~0.2 s elapsed, loose bounds *)
+  let t = Sim.Engine.now engine in
+  if t < 0.1 || t > 0.4 then Alcotest.failf "poisson elapsed %g implausible" t
+
+let test_on_off_bursts () =
+  let engine = Sim.Engine.create () in
+  let session, _, _ = null_session () in
+  let gen =
+    Workload.Arrivals.on_off engine
+      ~rng:(Sim.Rng.create ~seed:4)
+      ~session ~burst_rate:10_000. ~mean_on:0.01 ~mean_off:0.05 ~count:300
+      ~payload:(Printf.sprintf "p%d")
+  in
+  Sim.Engine.run engine ~until:60.;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "finished" true (Workload.Arrivals.finished gen)
+
+let test_saturating_fills_fast () =
+  let engine = Sim.Engine.create () in
+  let session, accepted, _ = null_session () in
+  let gen =
+    Workload.Arrivals.saturating engine ~session ~count:1000
+      ~payload:(Printf.sprintf "p%d")
+  in
+  Sim.Engine.run engine ~until:0.001;
+  Alcotest.(check bool) "finished immediately when accepted" true
+    (Workload.Arrivals.finished gen);
+  Alcotest.(check int) "all in" 1000 (List.length !accepted)
+
+let test_saturating_respects_refusal () =
+  let engine = Sim.Engine.create () in
+  let session, accepted, refuse = null_session () in
+  refuse := true;
+  let gen =
+    Workload.Arrivals.saturating engine ~session ~count:10
+      ~payload:(Printf.sprintf "p%d")
+  in
+  ignore (Sim.Engine.schedule engine ~delay:0.01 (fun () -> refuse := false));
+  Sim.Engine.run engine ~until:1.;
+  Alcotest.(check bool) "finished after unblock" true (Workload.Arrivals.finished gen);
+  Alcotest.(check int) "no duplicates offered" 10 (List.length !accepted)
+
+let suite =
+  [
+    Alcotest.test_case "default payload" `Quick test_default_payload;
+    Alcotest.test_case "deterministic timing" `Quick test_deterministic_timing;
+    Alcotest.test_case "deterministic retry" `Quick test_deterministic_retries_on_refusal;
+    Alcotest.test_case "poisson counts" `Quick test_poisson_counts;
+    Alcotest.test_case "on/off bursts" `Quick test_on_off_bursts;
+    Alcotest.test_case "saturating fills" `Quick test_saturating_fills_fast;
+    Alcotest.test_case "saturating respects refusal" `Quick
+      test_saturating_respects_refusal;
+  ]
