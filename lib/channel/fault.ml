@@ -1,0 +1,183 @@
+type action = Drop | Corrupt_payload | Corrupt_header
+
+type selector =
+  | I_seq of int
+  | I_payload of string
+  | I_nth of int
+  | Cp_seq of int
+  | Cp_range of int * int
+  | Cp_nak
+  | Cp_enforced
+  | Req_nak
+  | Control_nth of int
+  | Any_iframe
+  | Any_control
+
+type rule = {
+  sel : selector;
+  action : action;
+  copies : int;  (* remaining budget; max_int = unlimited *)
+  window : (float * float) option;
+}
+
+type spec =
+  | Rules of rule list
+  | Adversary of {
+      seed : int;
+      p_iframe : float;
+      p_control : float;
+      window : (float * float) option;
+    }
+
+let rule ?(copies = max_int) ?window sel action =
+  if copies < 1 then invalid_arg "Fault.rule: copies must be >= 1";
+  (match window with
+  | Some (lo, hi) when not (lo <= hi) ->
+      invalid_arg "Fault.rule: window must satisfy lo <= hi"
+  | _ -> ());
+  { sel; action; copies; window }
+
+type compiled_rule = { r : rule; mutable left : int }
+
+type mode =
+  | Scripted of compiled_rule list
+  | Random of {
+      rng : Sim.Rng.t;
+      p_iframe : float;
+      p_control : float;
+      window : (float * float) option;
+    }
+
+type t = {
+  mode : mode;
+  spec : spec;
+  mutable i_count : int;  (* I-frames classified so far *)
+  mutable c_count : int;  (* control frames classified so far *)
+  mutable hits : int;
+  mutable log : (float * string) list;  (* newest first *)
+}
+
+let compile spec =
+  let mode =
+    match spec with
+    | Rules rules -> Scripted (List.map (fun r -> { r; left = r.copies }) rules)
+    | Adversary { seed; p_iframe; p_control; window } ->
+        let check name p =
+          if not (p >= 0. && p <= 1.) then
+            invalid_arg (Printf.sprintf "Fault.compile: %s must be in [0,1]" name)
+        in
+        check "p_iframe" p_iframe;
+        check "p_control" p_control;
+        Random { rng = Sim.Rng.create ~seed; p_iframe; p_control; window }
+  in
+  { mode; spec; i_count = 0; c_count = 0; hits = 0; log = [] }
+
+let of_rules rules = compile (Rules rules)
+
+let in_window window now =
+  match window with None -> true | Some (lo, hi) -> now >= lo && now < hi
+
+(* Does [sel] match this frame? [i_idx]/[c_idx] are the frame's arrival
+   ordinals within its class. *)
+let matches sel frame ~i_idx ~c_idx =
+  match (sel, frame) with
+  | I_seq seq, Frame.Wire.Data i -> i.Frame.Iframe.seq = seq
+  | I_payload p, Frame.Wire.Data i -> String.equal i.Frame.Iframe.payload p
+  | I_nth n, Frame.Wire.Data _ -> i_idx = n
+  | Any_iframe, Frame.Wire.Data _ -> true
+  | Cp_seq s, Frame.Wire.Control (Frame.Cframe.Checkpoint cp) ->
+      cp.Frame.Cframe.cp_seq = s
+  | Cp_range (lo, hi), Frame.Wire.Control (Frame.Cframe.Checkpoint cp) ->
+      cp.Frame.Cframe.cp_seq >= lo && cp.Frame.Cframe.cp_seq <= hi
+  | Cp_nak, Frame.Wire.Control (Frame.Cframe.Checkpoint cp) ->
+      cp.Frame.Cframe.naks <> []
+  | Cp_enforced, Frame.Wire.Control (Frame.Cframe.Checkpoint cp) ->
+      cp.Frame.Cframe.enforced
+  | Req_nak, Frame.Wire.Control (Frame.Cframe.Request_nak _) -> true
+  | Control_nth n, (Frame.Wire.Control _ | Frame.Wire.Hdlc_control _) ->
+      c_idx = n
+  | Any_control, (Frame.Wire.Control _ | Frame.Wire.Hdlc_control _) -> true
+  | _ -> false
+
+let to_decision = function
+  | Drop -> Link.Drop
+  | Corrupt_payload -> Link.Corrupt_payload
+  | Corrupt_header -> Link.Corrupt_header
+
+let action_name = function
+  | Drop -> "drop"
+  | Corrupt_payload -> "corrupt-payload"
+  | Corrupt_header -> "corrupt-header"
+
+let record t ~now action frame =
+  t.hits <- t.hits + 1;
+  t.log <-
+    ( now,
+      Format.asprintf "%s %a" (action_name action) Frame.Wire.pp frame )
+    :: t.log
+
+let decision t ~now frame =
+  let is_iframe = not (Frame.Wire.is_control frame) in
+  let i_idx = t.i_count and c_idx = t.c_count in
+  if is_iframe then t.i_count <- t.i_count + 1 else t.c_count <- t.c_count + 1;
+  match t.mode with
+  | Scripted rules -> (
+      let hit =
+        List.find_opt
+          (fun cr ->
+            cr.left > 0
+            && in_window cr.r.window now
+            && matches cr.r.sel frame ~i_idx ~c_idx)
+          rules
+      in
+      match hit with
+      | None -> Link.Pass
+      | Some cr ->
+          cr.left <- cr.left - 1;
+          record t ~now cr.r.action frame;
+          to_decision cr.r.action)
+  | Random { rng; p_iframe; p_control; window } ->
+      let p = if is_iframe then p_iframe else p_control in
+      if in_window window now && p > 0. && Sim.Rng.bernoulli rng ~p then begin
+        record t ~now Drop frame;
+        Link.Drop
+      end
+      else Link.Pass
+
+let install t link = Link.set_fault link (fun ~now frame -> decision t ~now frame)
+
+let hits t = t.hits
+
+let log t = List.rev t.log
+
+let sel_name = function
+  | I_seq s -> Printf.sprintf "I-frame seq=%d" s
+  | I_payload p -> Printf.sprintf "I-frame payload=%S" p
+  | I_nth n -> Printf.sprintf "I-frame #%d" n
+  | Cp_seq s -> Printf.sprintf "checkpoint #%d" s
+  | Cp_range (lo, hi) -> Printf.sprintf "checkpoints #%d-%d" lo hi
+  | Cp_nak -> "NAK-carrying checkpoints"
+  | Cp_enforced -> "enforced checkpoints"
+  | Req_nak -> "request-NAKs"
+  | Control_nth n -> Printf.sprintf "control frame #%d" n
+  | Any_iframe -> "any I-frame"
+  | Any_control -> "any control frame"
+
+let describe t =
+  match t.spec with
+  | Rules rules ->
+      rules
+      |> List.map (fun r ->
+             Printf.sprintf "%s %s%s%s" (action_name r.action) (sel_name r.sel)
+               (if r.copies = max_int then ""
+                else Printf.sprintf " (first %d)" r.copies)
+               (match r.window with
+               | None -> ""
+               | Some (lo, hi) -> Printf.sprintf " in [%g,%g)" lo hi))
+      |> String.concat "; "
+      |> Printf.sprintf "script[%s]"
+  | Adversary { seed; p_iframe; p_control; window } ->
+      Printf.sprintf "adversary[seed=%d pI=%g pC=%g%s]" seed p_iframe p_control
+        (match window with
+        | None -> ""
+        | Some (lo, hi) -> Printf.sprintf " in [%g,%g)" lo hi)

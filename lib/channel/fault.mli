@@ -1,0 +1,70 @@
+(** Deterministic, scriptable fault injection for one {!Link}.
+
+    Stochastic error models answer "what happens on average"; protocol
+    safety arguments need the opposite: named, reproducible disasters.
+    A fault script is an ordered list of rules; each arriving frame is
+    classified and the first rule that matches (and still has copies in
+    its budget, and is inside its time window) decides the frame's fate.
+    Tests can therefore say "kill checkpoints 3–5 and the first two
+    copies of frame 17" and replay the exact same schedule forever.
+
+    Scripts are stateful (per-rule hit budgets, arrival counters, the
+    adversary's RNG): compile one script per link and do not share. *)
+
+type action = Drop | Corrupt_payload | Corrupt_header
+
+type selector =
+  | I_seq of int  (** I-frame carrying this wire sequence number *)
+  | I_payload of string
+      (** I-frame carrying this payload — tracks a logical frame across
+          renumbered retransmissions (LAMS-DLC gives every copy a fresh
+          seq, so payload identity is the only stable name) *)
+  | I_nth of int  (** the [n]-th I-frame to cross this link, 0-based *)
+  | Cp_seq of int  (** checkpoint / status report with this [cp_seq] *)
+  | Cp_range of int * int  (** checkpoints with [cp_seq] in [lo, hi] *)
+  | Cp_nak  (** any checkpoint carrying at least one NAK *)
+  | Cp_enforced  (** Enforced-NAK answers *)
+  | Req_nak  (** Request-NAK commands *)
+  | Control_nth of int  (** the [n]-th control frame, 0-based *)
+  | Any_iframe
+  | Any_control
+
+type rule
+
+val rule : ?copies:int -> ?window:float * float -> selector -> action -> rule
+(** [copies] limits the rule to its first [copies] matches (default:
+    unlimited); [window] restricts it to arrivals with [lo <= now < hi]. *)
+
+type spec =
+  | Rules of rule list
+  | Adversary of {
+      seed : int;
+      p_iframe : float;  (** per-I-frame drop probability *)
+      p_control : float;  (** per-control-frame drop probability *)
+      window : (float * float) option;
+    }
+      (** Seed-driven adversarial mode: i.i.d. drops from a private RNG —
+          random-looking but exactly reproducible from the seed. *)
+
+type t
+
+val compile : spec -> t
+
+val of_rules : rule list -> t
+(** [compile (Rules rules)]. *)
+
+val decision : t -> now:float -> Frame.Wire.t -> Link.fault_decision
+(** Classify one frame and advance script state. Exposed for tests; the
+    normal path is {!install}. *)
+
+val install : t -> Link.t -> unit
+(** [Link.set_fault] with this script's decision function. *)
+
+val hits : t -> int
+(** Frames affected (dropped or corrupted) so far. *)
+
+val log : t -> (float * string) list
+(** Chronological record of every applied fault, for debugging and for
+    shrinking failing schedules. *)
+
+val describe : t -> string

@@ -15,6 +15,8 @@ type tap_event =
   | Tap_rx of rx
   | Tap_lost of Frame.Wire.t
 
+type fault_decision = Pass | Drop | Corrupt_payload | Corrupt_header
+
 type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
@@ -23,7 +25,8 @@ type t = {
   iframe_error : Error_model.t;
   cframe_error : Error_model.t;
   mutable receiver : (rx -> unit) option;
-  mutable tap : (tap_event -> unit) option;
+  mutable taps : (tap_event -> unit) list;  (* newest last; all invoked *)
+  mutable fault : (now:float -> Frame.Wire.t -> fault_decision) option;
   mutable on_idle : (unit -> unit) option;
   mutable transmitting : bool;
   queue : Frame.Wire.t Queue.t;
@@ -45,7 +48,8 @@ let create engine ~rng ~distance_m ~data_rate_bps ~iframe_error ~cframe_error =
     iframe_error;
     cframe_error;
     receiver = None;
-    tap = None;
+    taps = [];
+    fault = None;
     on_idle = None;
     transmitting = false;
     queue = Queue.create ();
@@ -71,9 +75,15 @@ let create_static engine ~rng ~distance_m ~data_rate_bps ~iframe_error
 
 let set_receiver t f = t.receiver <- Some f
 
-let set_tap t f = t.tap <- Some f
+let set_tap t f = t.taps <- [ f ]
 
-let tap t ev = match t.tap with None -> () | Some f -> f ev
+let add_tap t f = t.taps <- t.taps @ [ f ]
+
+let tap t ev = List.iter (fun f -> f ev) t.taps
+
+let set_fault t f = t.fault <- Some f
+
+let clear_fault t = t.fault <- None
 
 let set_on_idle t f = t.on_idle <- Some f
 
@@ -122,9 +132,24 @@ let deliver t frame ~t_sent =
       int_of_float (Float.max 0. (span_bits -. float_of_int (header_bits + payload_bits)))
     in
     t.last_fate_at <- now;
-    let model = error_model t frame in
-    Error_model.advance model t.rng ~bits:idle_bits;
-    let fate = Error_model.fate model t.rng ~header_bits ~payload_bits in
+    (* A scripted fault overrides the stochastic channel for this frame;
+       Pass falls through to the error model. *)
+    let injected =
+      match t.fault with None -> Pass | Some f -> f ~now frame
+    in
+    let fate =
+      match injected with
+      | Drop -> Error_model.Lost
+      | Corrupt_payload ->
+          (* control frames are all header: any damage is fatal to them *)
+          if payload_bits = 0 then Error_model.Corrupt { header = true }
+          else Error_model.Corrupt { header = false }
+      | Corrupt_header -> Error_model.Corrupt { header = true }
+      | Pass ->
+          let model = error_model t frame in
+          Error_model.advance model t.rng ~bits:idle_bits;
+          Error_model.fate model t.rng ~header_bits ~payload_bits
+    in
     match fate with
     | Error_model.Lost ->
         t.stats.frames_lost <- t.stats.frames_lost + 1;

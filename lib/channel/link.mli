@@ -71,7 +71,29 @@ type tap_event =
 
 val set_tap : t -> (tap_event -> unit) -> unit
 (** Passive observation of everything the link does, for tracing and
-    debugging; does not affect delivery. One tap per link. *)
+    debugging; does not affect delivery. Replaces every tap installed so
+    far (historic single-tap behaviour). *)
+
+val add_tap : t -> (tap_event -> unit) -> unit
+(** Append an additional tap; all installed taps fire in installation
+    order. Lets a tracer and an invariant oracle observe the same link. *)
+
+type fault_decision =
+  | Pass  (** leave the frame to the stochastic error model *)
+  | Drop  (** frame vanishes without trace *)
+  | Corrupt_payload
+      (** payload CRC failure: the receiver can still identify the frame.
+          On all-header control frames this degrades to header corruption
+          (any damage makes them undecodable). *)
+  | Corrupt_header  (** unidentifiable arrival *)
+
+val set_fault : t -> (now:float -> Frame.Wire.t -> fault_decision) -> unit
+(** Install a deterministic fault injector, consulted once per frame at
+    arrival time {e before} the stochastic error model; any decision
+    other than [Pass] overrides the model for that frame. Used by
+    {!Fault} to script reproducible loss/corruption schedules. *)
+
+val clear_fault : t -> unit
 
 val send : t -> Frame.Wire.t -> unit
 (** Enqueue for transmission. Starts serialising immediately when the

@@ -1,0 +1,31 @@
+type event =
+  | Offered of { payload : string }
+  | Tx of { seq : int; payload : string; retx : bool }
+  | Released of { seq : int; payload : string }
+  | Requeued of { seq : int; payload : string }
+  | Delivered of { seq : int; payload : string }
+  | Recovery_started
+  | Recovery_completed
+  | Failure
+
+let event_name = function
+  | Offered _ -> "offered"
+  | Tx { retx = false; _ } -> "tx"
+  | Tx { retx = true; _ } -> "retx"
+  | Released _ -> "released"
+  | Requeued _ -> "requeued"
+  | Delivered _ -> "delivered"
+  | Recovery_started -> "recovery-started"
+  | Recovery_completed -> "recovery-completed"
+  | Failure -> "failure"
+
+type t = { mutable handlers : (now:float -> event -> unit) list }
+
+let create () = { handlers = [] }
+
+let subscribe t f = t.handlers <- t.handlers @ [ f ]
+
+let emit t ~now event =
+  match t.handlers with
+  | [] -> ()
+  | handlers -> List.iter (fun f -> f ~now event) handlers

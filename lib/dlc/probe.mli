@@ -1,0 +1,39 @@
+(** Semantic protocol event bus.
+
+    {!Tracer} sees the wire; the probe sees the {e meaning}: what the
+    sender and receiver state machines decided. Protocol implementations
+    publish buffer-lifecycle and recovery transitions here so that
+    observers — above all the invariant {!module:Oracle} in
+    [lib/oracle] — can check safety properties online without reaching
+    into protocol internals.
+
+    Every session owns a probe (a fresh one is created when none is
+    passed in); emitting to a probe with no subscribers costs one list
+    match, so the instrumentation is always on. *)
+
+type event =
+  | Offered of { payload : string }  (** accepted into the sending buffer *)
+  | Tx of { seq : int; payload : string; retx : bool }
+      (** serialisation of one copy started under wire number [seq] *)
+  | Released of { seq : int; payload : string }
+      (** sending buffer slot freed: the protocol believes [seq] was
+          received (LAMS-DLC: a checkpoint passed it without NAK) *)
+  | Requeued of { seq : int; payload : string }
+      (** transmission [seq] written off; the payload awaits
+          retransmission (under a fresh number in LAMS-DLC/NBDT) *)
+  | Delivered of { seq : int; payload : string }
+      (** receiver passed the payload to the upper layer *)
+  | Recovery_started  (** sender began enforced/timeout recovery *)
+  | Recovery_completed
+  | Failure  (** link declared failed *)
+
+val event_name : event -> string
+
+type t
+
+val create : unit -> t
+
+val subscribe : t -> (now:float -> event -> unit) -> unit
+(** Handlers fire synchronously, in subscription order, at emission. *)
+
+val emit : t -> now:float -> event -> unit

@@ -10,6 +10,7 @@ type t = {
   sp : Frame.Seqnum.space;
   reverse : Channel.Link.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   mutable v_r : int;
   buffer : (int, string) Hashtbl.t;  (* out-of-order frames, SR mode *)
   mutable srej_outstanding : Int_set.t;
@@ -19,13 +20,14 @@ type t = {
   mutable stopped : bool;
 }
 
-let create engine ~params ~reverse ~metrics =
+let create engine ~params ~reverse ~metrics ~probe =
   {
     engine;
     params;
     sp = Frame.Seqnum.space ~bits:params.Params.seq_bits;
     reverse;
     metrics;
+    probe;
     v_r = 0;
     buffer = Hashtbl.create 256;
     srej_outstanding = Int_set.empty;
@@ -57,6 +59,8 @@ let deliver t ~payload ~seq =
   t.metrics.Dlc.Metrics.payload_bytes_delivered <-
     t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
   t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
+  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+    (Dlc.Probe.Delivered { seq; payload });
   match t.on_deliver with None -> () | Some f -> f ~payload ~seq
 
 (* In-order delivery plus draining of buffered successors. *)

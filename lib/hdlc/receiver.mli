@@ -19,6 +19,7 @@ val create :
   params:Params.t ->
   reverse:Channel.Link.t ->
   metrics:Dlc.Metrics.t ->
+  probe:Dlc.Probe.t ->
   t
 
 val on_rx : t -> Channel.Link.rx -> unit

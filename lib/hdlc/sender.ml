@@ -15,6 +15,7 @@ type t = {
   sp : Frame.Seqnum.space;
   forward : Channel.Link.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   mutable v_s : int;  (* next sequence number to use *)
   mutable v_a : int;  (* oldest unacknowledged *)
   inflight : (int, inflight) Hashtbl.t;
@@ -37,6 +38,8 @@ type t = {
 }
 
 let backlog t = Queue.length t.fresh + Hashtbl.length t.inflight
+
+let emit t ev = Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine) ev
 
 let in_window t = Frame.Seqnum.sub t.sp t.v_s t.v_a
 
@@ -65,6 +68,7 @@ let declare_failure t =
       t.metrics.Dlc.Metrics.failures_detected + 1;
     stop_timer t;
     Log.info (fun m -> m "link declared failed at %g" (Sim.Engine.now t.engine));
+    emit t Dlc.Probe.Failure;
     match t.on_failure with None -> () | Some f -> f ()
   end
 
@@ -137,6 +141,7 @@ and transmit t ~seq ~fl ~is_retx ~pf =
     t.metrics.Dlc.Metrics.retransmissions <-
       t.metrics.Dlc.Metrics.retransmissions + 1
   else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
+  emit t (Dlc.Probe.Tx { seq; payload = fl.payload; retx = is_retx });
   Channel.Link.send t.forward wire;
   if pf then begin
     t.poll_outstanding <- true;
@@ -175,6 +180,7 @@ and on_timeout t =
         fl.retries <- fl.retries + 1;
         (* the previous poll (if any) evidently got no answer *)
         t.poll_outstanding <- false;
+        emit t (Dlc.Probe.Requeued { seq = t.v_a; payload = fl.payload });
         Queue.add (t.v_a, true) t.retx;
         ensure_timer_running t;
         maybe_send t
@@ -182,6 +188,7 @@ and on_timeout t =
 
 let release t seq fl =
   Hashtbl.remove t.inflight seq;
+  emit t (Dlc.Probe.Released { seq; payload = fl.payload });
   t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
   Stats.Online.add t.metrics.Dlc.Metrics.holding_time
     (Sim.Engine.now t.engine -. fl.first_tx_time)
@@ -206,14 +213,22 @@ let ack_below t nr =
   end
 
 let on_srej t nr =
-  if Hashtbl.mem t.inflight nr then Queue.add (nr, false) t.retx
+  match Hashtbl.find_opt t.inflight nr with
+  | Some fl ->
+      emit t (Dlc.Probe.Requeued { seq = nr; payload = fl.payload });
+      Queue.add (nr, false) t.retx
+  | None -> ()
 
 (* Go-Back-N: acknowledge below nr, then resend everything from nr on. *)
 let on_rej t nr =
   ack_below t nr;
   let seq = ref nr in
   while Frame.Seqnum.sub t.sp t.v_s !seq > 0 do
-    if Hashtbl.mem t.inflight !seq then Queue.add (!seq, false) t.retx;
+    (match Hashtbl.find_opt t.inflight !seq with
+    | Some fl ->
+        emit t (Dlc.Probe.Requeued { seq = !seq; payload = fl.payload });
+        Queue.add (!seq, false) t.retx
+    | None -> ());
     seq := Frame.Seqnum.succ t.sp !seq
   done
 
@@ -247,6 +262,7 @@ let offer t payload =
     t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
     if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
       t.metrics.Dlc.Metrics.first_offer_time <- now;
+    emit t (Dlc.Probe.Offered { payload });
     Queue.add (payload, now) t.fresh;
     sample_buffer t;
     maybe_send t;
@@ -257,7 +273,7 @@ let stop t =
   t.stopped <- true;
   stop_timer t
 
-let create engine ~params ~forward ~metrics =
+let create engine ~params ~forward ~metrics ~probe =
   let t =
     {
       engine;
@@ -265,6 +281,7 @@ let create engine ~params ~forward ~metrics =
       sp = Frame.Seqnum.space ~bits:params.Params.seq_bits;
       forward;
       metrics;
+      probe;
       v_s = 0;
       v_a = 0;
       inflight = Hashtbl.create 256;

@@ -22,6 +22,7 @@ val create :
   params:Params.t ->
   forward:Channel.Link.t ->
   metrics:Dlc.Metrics.t ->
+  probe:Dlc.Probe.t ->
   t
 
 val offer : t -> string -> bool

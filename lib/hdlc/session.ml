@@ -2,23 +2,26 @@ type t = {
   sender : Sender.t;
   receiver : Receiver.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   name : string;
   mutable user_deliver : (payload:string -> unit) option;
 }
 
-let create engine ~params ~duplex =
+let create ?probe engine ~params ~duplex =
   let params =
     match Params.validate params with
     | Ok p -> p
     | Error msg -> invalid_arg ("Hdlc.Session.create: " ^ msg)
   in
+  let probe = match probe with Some p -> p | None -> Dlc.Probe.create () in
   let metrics = Dlc.Metrics.create () in
   let sender =
     Sender.create engine ~params ~forward:duplex.Channel.Duplex.forward ~metrics
+      ~probe
   in
   let receiver =
     Receiver.create engine ~params ~reverse:duplex.Channel.Duplex.reverse
-      ~metrics
+      ~metrics ~probe
   in
   let name =
     let base =
@@ -28,7 +31,7 @@ let create engine ~params ~duplex =
     in
     if params.Params.stutter then base ^ "+st" else base
   in
-  let t = { sender; receiver; metrics; name; user_deliver = None } in
+  let t = { sender; receiver; metrics; probe; name; user_deliver = None } in
   Channel.Link.set_receiver duplex.Channel.Duplex.forward (fun rx ->
       Receiver.on_rx receiver rx);
   Channel.Link.set_receiver duplex.Channel.Duplex.reverse (fun rx ->
@@ -47,6 +50,8 @@ let sender t = t.sender
 let receiver t = t.receiver
 
 let metrics t = t.metrics
+
+let probe t = t.probe
 
 let as_dlc t =
   {

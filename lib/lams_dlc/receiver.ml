@@ -9,6 +9,7 @@ type t = {
   params : Params.t;
   reverse : Channel.Link.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   mutable next_expected : int;
   mutable current_errors : Int_set.t;  (* erroneous seqs this interval *)
   mutable history : Int_set.t list;  (* newest first, <= c_depth kept *)
@@ -104,13 +105,14 @@ let rec schedule_next_cp t =
          end)
       : Sim.Engine.event_id)
 
-let create engine ~params ~reverse ~metrics =
+let create engine ~params ~reverse ~metrics ~probe =
   let t =
     {
       engine;
       params;
       reverse;
       metrics;
+      probe;
       next_expected = 0;
       current_errors = Int_set.empty;
       history = [];
@@ -137,6 +139,8 @@ let deliver t ~payload ~seq =
   t.metrics.Dlc.Metrics.payload_bytes_delivered <-
     t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
   t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
+  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+    (Dlc.Probe.Delivered { seq; payload });
   enqueue t;
   match t.on_deliver with None -> () | Some f -> f ~payload ~seq
 

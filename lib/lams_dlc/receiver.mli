@@ -25,9 +25,11 @@ val create :
   params:Params.t ->
   reverse:Channel.Link.t ->
   metrics:Dlc.Metrics.t ->
+  probe:Dlc.Probe.t ->
   t
 (** Starts the periodic checkpoint schedule immediately: the paper's
-    receiver sends commands "so long as the link is active". *)
+    receiver sends commands "so long as the link is active". Deliveries
+    are published on [probe]. *)
 
 val on_rx : t -> Channel.Link.rx -> unit
 (** Feed an arrival from the forward link. *)

@@ -18,6 +18,7 @@ type t = {
   params : Params.t;
   forward : Channel.Link.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   mutable next_seq : int;
   outstanding : (int, outstanding_entry) Hashtbl.t;
   coverage : int Queue.t;  (* outstanding seqs in transmission order *)
@@ -60,6 +61,8 @@ let offer_time_of_seq t seq =
   | None -> None
 
 let sample_buffer t = Dlc.Metrics.sample_send_buffer t.metrics (backlog t)
+
+let emit t ev = Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine) ev
 
 (* Track the numbering span actually in use: oldest live outstanding seq
    (front of the coverage queue, skipping resolved ones) to next_seq-1. *)
@@ -133,6 +136,7 @@ and transmit t pend ~is_retx =
     t.metrics.Dlc.Metrics.retransmissions <-
       t.metrics.Dlc.Metrics.retransmissions + 1
   else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
+  emit t (Dlc.Probe.Tx { seq; payload = pend.payload; retx = is_retx });
   Channel.Link.send t.forward wire;
   (* Stop-Go pacing: at full rate the next frame may follow back-to-back;
      a reduced rate factor stretches the inter-frame spacing. *)
@@ -153,6 +157,7 @@ and declare_failure t =
     (match t.cp_timer with Some timer -> Sim.Timer.stop timer | None -> ());
     (match t.failure_timer with Some timer -> Sim.Timer.stop timer | None -> ());
     Log.info (fun m -> m "link declared failed at %g" (Sim.Engine.now t.engine));
+    emit t Dlc.Probe.Failure;
     match t.on_failure with None -> () | Some f -> f ()
   end
 
@@ -179,6 +184,7 @@ and initiate_enforced_recovery t =
     if unreachable then declare_failure t
     else begin
       t.halted <- true;
+      emit t Dlc.Probe.Recovery_started;
       t.metrics.Dlc.Metrics.enforced_recoveries <-
         t.metrics.Dlc.Metrics.enforced_recoveries + 1;
       t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
@@ -234,11 +240,13 @@ and start_cp_timer_if_needed t =
 let release t seq entry =
   Hashtbl.remove t.outstanding seq;
   t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
+  emit t (Dlc.Probe.Released { seq; payload = entry.pend.payload });
   Stats.Online.add t.metrics.Dlc.Metrics.holding_time
     (Sim.Engine.now t.engine -. entry.pend.first_tx_time)
 
 let queue_retransmission t seq entry =
   Hashtbl.remove t.outstanding seq;
+  emit t (Dlc.Probe.Requeued { seq; payload = entry.pend.payload });
   Queue.add entry.pend t.retx
 
 let apply_stop_go t ~stop =
@@ -292,6 +300,7 @@ let on_checkpoint t (cp : Frame.Cframe.checkpoint) =
      anything else so its (complete) NAK list governs the scan below. *)
   if cp.Frame.Cframe.enforced && t.halted && not t.failed then begin
     t.halted <- false;
+    emit t Dlc.Probe.Recovery_completed;
     t.request_nak_attempts <- 0;
     match t.failure_timer with
     | Some timer -> Sim.Timer.stop timer
@@ -367,6 +376,7 @@ let offer t payload =
     t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
     if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
       t.metrics.Dlc.Metrics.first_offer_time <- now;
+    emit t (Dlc.Probe.Offered { payload });
     Queue.add { payload; offer_time = now; first_tx_time = nan } t.fresh;
     sample_buffer t;
     maybe_send t;
@@ -424,13 +434,14 @@ let drain_unresolved t =
   sample_buffer t;
   List.rev !out
 
-let create engine ~params ~forward ~metrics =
+let create engine ~params ~forward ~metrics ~probe =
   let t =
     {
       engine;
       params;
       forward;
       metrics;
+      probe;
       next_seq = 0;
       outstanding = Hashtbl.create 1024;
       coverage = Queue.create ();

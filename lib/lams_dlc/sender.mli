@@ -32,9 +32,11 @@ val create :
   params:Params.t ->
   forward:Channel.Link.t ->
   metrics:Dlc.Metrics.t ->
+  probe:Dlc.Probe.t ->
   t
 (** [forward] is the I-frame direction; the sender installs itself as the
-    link's idle callback. Feed reverse-direction arrivals to {!on_rx}. *)
+    link's idle callback. Feed reverse-direction arrivals to {!on_rx}.
+    Buffer-lifecycle and recovery transitions are published on [probe]. *)
 
 val offer : t -> string -> bool
 (** Accept a payload into the sending buffer; [false] when the buffer is

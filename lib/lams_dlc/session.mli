@@ -8,9 +8,16 @@
 type t
 
 val create :
-  Sim.Engine.t -> params:Params.t -> duplex:Channel.Duplex.t -> t
+  ?probe:Dlc.Probe.t ->
+  Sim.Engine.t ->
+  params:Params.t ->
+  duplex:Channel.Duplex.t ->
+  t
 (** Raises [Invalid_argument] when the parameters fail
-    {!Params.validate}. *)
+    {!Params.validate}. [probe] (fresh when omitted) receives the
+    session's semantic events; see {!Dlc.Probe} and {!probe}. *)
+
+val probe : t -> Dlc.Probe.t
 
 val sender : t -> Sender.t
 

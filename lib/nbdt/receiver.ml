@@ -9,6 +9,7 @@ type t = {
   params : Params.t;
   reverse : Channel.Link.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   mutable frontier : int;
   mutable missing : Int_set.t;
   mutable report_seq : int;
@@ -57,13 +58,14 @@ let rec schedule_report t =
          end)
       : Sim.Engine.event_id)
 
-let create engine ~params ~reverse ~metrics =
+let create engine ~params ~reverse ~metrics ~probe =
   let t =
     {
       engine;
       params;
       reverse;
       metrics;
+      probe;
       frontier = 0;
       missing = Int_set.empty;
       report_seq = 0;
@@ -82,6 +84,8 @@ let deliver t ~payload ~seq =
   t.metrics.Dlc.Metrics.payload_bytes_delivered <-
     t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
   t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
+  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+    (Dlc.Probe.Delivered { seq; payload });
   match t.on_deliver with None -> () | Some f -> f ~payload ~seq
 
 (* Invariant: seqs < frontier are received unless listed in missing. *)

@@ -16,6 +16,7 @@ type t = {
   params : Params.t;
   forward : Channel.Link.t;
   metrics : Dlc.Metrics.t;
+  probe : Dlc.Probe.t;
   mutable next_seq : int;
   inflight : (int, inflight) Hashtbl.t;
   order : int Queue.t;  (* outstanding seqs, oldest first (lazy-cleaned) *)
@@ -34,6 +35,8 @@ type t = {
 
 let backlog t =
   Queue.length t.fresh + Hashtbl.length t.inflight
+
+let emit t ev = Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine) ev
 
 let outstanding t = Hashtbl.length t.inflight
 
@@ -60,6 +63,7 @@ let declare_failure t =
       t.metrics.Dlc.Metrics.failures_detected + 1;
     stop_watchdog t;
     Log.info (fun m -> m "link declared failed at %g" (Sim.Engine.now t.engine));
+    emit t Dlc.Probe.Failure;
     match t.on_failure with None -> () | Some f -> f ()
   end
 
@@ -119,6 +123,7 @@ and transmit t ~seq ~fl ~is_retx =
     t.metrics.Dlc.Metrics.retransmissions <-
       t.metrics.Dlc.Metrics.retransmissions + 1
   else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
+  emit t (Dlc.Probe.Tx { seq; payload = fl.payload; retx = is_retx });
   Channel.Link.send t.forward wire;
   update_watchdog t;
   maybe_send t
@@ -170,6 +175,7 @@ and on_watchdog t =
             fl.retries <- fl.retries + 1;
             if not fl.queued_retx then begin
               fl.queued_retx <- true;
+              emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
               Queue.add seq t.retx
             end;
             (* re-arm for the same target: expiry counts retries *)
@@ -179,6 +185,7 @@ and on_watchdog t =
 
 let release t seq fl =
   Hashtbl.remove t.inflight seq;
+  emit t (Dlc.Probe.Released { seq; payload = fl.payload });
   t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
   Stats.Online.add t.metrics.Dlc.Metrics.holding_time
     (Sim.Engine.now t.engine -. fl.first_tx_time)
@@ -210,6 +217,7 @@ let on_report t (report : Frame.Cframe.checkpoint) =
                    > t.params.Params.retx_cooldown
               then begin
                 fl.queued_retx <- true;
+                emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
                 Queue.add seq t.retx
               end
             end
@@ -263,6 +271,7 @@ let offer t payload =
     t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
     if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
       t.metrics.Dlc.Metrics.first_offer_time <- now;
+    emit t (Dlc.Probe.Offered { payload });
     Queue.add (payload, now) t.fresh;
     sample_buffer t;
     maybe_send t;
@@ -273,13 +282,14 @@ let stop t =
   t.stopped <- true;
   stop_watchdog t
 
-let create engine ~params ~forward ~metrics =
+let create engine ~params ~forward ~metrics ~probe =
   let t =
     {
       engine;
       params;
       forward;
       metrics;
+      probe;
       next_seq = 0;
       inflight = Hashtbl.create 1024;
       order = Queue.create ();

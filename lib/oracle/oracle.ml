@@ -1,0 +1,402 @@
+type profile =
+  | Lams of { c_depth : int; holding_bound : float }
+  | Hdlc of { window : int; seq_bits : int }
+  | Nbdt
+
+type violation = { time : float; invariant : string; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%.6f] %s: %s" v.time v.invariant v.detail
+
+(* Per-payload lifecycle, keyed by payload contents (unique per test
+   stream; LAMS-DLC renumbers copies, so the payload is the only stable
+   name for a logical frame). *)
+type prec = {
+  mutable offer_index : int;
+  mutable tx_count : int;
+  mutable last_tx : float;
+  mutable first_seq : int;  (* wire number of the first copy *)
+  mutable released : bool;
+  mutable delivered : int;
+}
+
+type nak_run = { mutable last_r : int; mutable count : int }
+
+type t = {
+  profile : profile;
+  name : string;
+  mutable violations : violation list;  (* newest first *)
+  mutable violation_count : int;
+  payloads : (string, prec) Hashtbl.t;
+  delivered_seq : (int, int) Hashtbl.t;  (* wire seq -> delivery count *)
+  tx_seq_used : (int, unit) Hashtbl.t;  (* LAMS freshness *)
+  mutable last_tx_seq : int;  (* LAMS monotony; -1 before first Tx *)
+  mutable offer_counter : int;
+  mutable last_delivered_offer : int;  (* HDLC order; -1 initially *)
+  mutable inflight : int;  (* HDLC window occupancy, payload-level *)
+  mutable recovery_open : float option;
+  mutable recovery_episodes : (float * float) list;
+  mutable have_cp : bool;
+  mutable last_cp_seq : int;
+  mutable last_next_expected : int;
+  mutable regular_cps : int;  (* regular checkpoints seen on reverse tx *)
+  nak_runs : (int, nak_run) Hashtbl.t;
+  mutable finalized : bool;
+}
+
+let max_recorded = 200
+
+let violate t ~time invariant detail =
+  t.violation_count <- t.violation_count + 1;
+  if t.violation_count <= max_recorded then
+    t.violations <- { time; invariant; detail } :: t.violations
+
+let create ?(name = "oracle") profile =
+  {
+    profile;
+    name;
+    violations = [];
+    violation_count = 0;
+    payloads = Hashtbl.create 1024;
+    delivered_seq = Hashtbl.create 1024;
+    tx_seq_used = Hashtbl.create 1024;
+    last_tx_seq = -1;
+    offer_counter = 0;
+    last_delivered_offer = -1;
+    inflight = 0;
+    recovery_open = None;
+    recovery_episodes = [];
+    have_cp = false;
+    last_cp_seq = -1;
+    last_next_expected = 0;
+    regular_cps = 0;
+    nak_runs = Hashtbl.create 256;
+    finalized = false;
+  }
+
+let find_or_add t payload =
+  match Hashtbl.find_opt t.payloads payload with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          offer_index = -1;
+          tx_count = 0;
+          last_tx = nan;
+          first_seq = -1;
+          released = false;
+          delivered = 0;
+        }
+      in
+      Hashtbl.replace t.payloads payload r;
+      r
+
+let recovery_overlaps t ~lo ~hi =
+  List.exists (fun (s, e) -> s <= hi && e >= lo) t.recovery_episodes
+  || match t.recovery_open with Some s -> s <= hi | None -> false
+
+let short p = if String.length p <= 24 then p else String.sub p 0 24 ^ "..."
+
+(* --- semantic (probe) events ------------------------------------------- *)
+
+let on_offered t ~now:_ payload =
+  let r = find_or_add t payload in
+  if r.offer_index < 0 then begin
+    r.offer_index <- t.offer_counter;
+    t.offer_counter <- t.offer_counter + 1
+  end
+
+let on_tx t ~now ~seq ~payload ~retx =
+  let r = find_or_add t payload in
+  if r.tx_count = 0 then r.first_seq <- seq;
+  r.tx_count <- r.tx_count + 1;
+  r.last_tx <- now;
+  (match t.profile with
+  | Lams _ ->
+      if seq <= t.last_tx_seq then
+        violate t ~time:now "seq-monotone"
+          (Printf.sprintf "wire seq %d after %d: renumbering must keep the \
+                           sequence stream strictly increasing"
+             seq t.last_tx_seq);
+      t.last_tx_seq <- max t.last_tx_seq seq;
+      if Hashtbl.mem t.tx_seq_used seq then
+        violate t ~time:now "seq-reuse"
+          (Printf.sprintf "wire seq %d assigned to a second copy" seq)
+      else Hashtbl.replace t.tx_seq_used seq ()
+  | Hdlc { window; seq_bits } ->
+      let modulus = 1 lsl seq_bits in
+      if seq < 0 || seq >= modulus then
+        violate t ~time:now "seq-range"
+          (Printf.sprintf "wire seq %d outside [0, %d)" seq modulus);
+      if r.tx_count = 1 && not r.released then begin
+        t.inflight <- t.inflight + 1;
+        if t.inflight > window then
+          violate t ~time:now "window-overflow"
+            (Printf.sprintf "%d unacknowledged frames exceed window %d"
+               t.inflight window)
+      end
+  | Nbdt ->
+      if retx && seq <> r.first_seq then
+        violate t ~time:now "seq-stable"
+          (Printf.sprintf
+             "retransmission of %s renumbered %d -> %d; NBDT numbers are \
+              absolute"
+             (short payload) r.first_seq seq));
+  if r.released then
+    violate t ~time:now "tx-after-release"
+      (Printf.sprintf "copy of %s (seq %d) sent after its buffer slot was \
+                       released"
+         (short payload) seq)
+
+let on_released t ~now ~seq ~payload =
+  let r = find_or_add t payload in
+  if r.tx_count = 0 then
+    violate t ~time:now "release-unsent"
+      (Printf.sprintf "released %s (seq %d) without any transmission"
+         (short payload) seq);
+  if r.released then
+    violate t ~time:now "double-release"
+      (Printf.sprintf "second release of %s (seq %d)" (short payload) seq);
+  if r.delivered = 0 then
+    violate t ~time:now "released-undelivered"
+      (Printf.sprintf
+         "buffer slot of %s (seq %d) freed but the receiver never delivered \
+          it: silent loss"
+         (short payload) seq);
+  (match t.profile with
+  | Lams { holding_bound; _ } ->
+      if t.have_cp && seq >= t.last_next_expected then
+        violate t ~time:now "release-before-ack"
+          (Printf.sprintf
+             "seq %d released but no checkpoint has advanced next_expected \
+              past it (last advertised %d)"
+             seq t.last_next_expected);
+      let hold = now -. r.last_tx in
+      if
+        hold > holding_bound
+        && not (recovery_overlaps t ~lo:r.last_tx ~hi:now)
+      then
+        violate t ~time:now "holding-bound"
+          (Printf.sprintf
+             "%s held %.6fs after its last copy; resolving-period bound is \
+              %.6fs and no recovery intervened"
+             (short payload) hold holding_bound)
+  | Nbdt ->
+      if t.have_cp && seq >= t.last_next_expected then
+        violate t ~time:now "release-before-ack"
+          (Printf.sprintf
+             "seq %d released but no report has advanced the frontier past \
+              it (last advertised %d)"
+             seq t.last_next_expected)
+  | Hdlc _ -> t.inflight <- t.inflight - 1);
+  r.released <- true
+
+let on_requeued t ~now ~seq ~payload =
+  let r = find_or_add t payload in
+  if r.released then
+    violate t ~time:now "requeue-after-release"
+      (Printf.sprintf "%s (seq %d) queued for retransmission after release"
+         (short payload) seq)
+
+let on_delivered t ~now ~seq ~payload =
+  let r = find_or_add t payload in
+  if r.tx_count = 0 then
+    violate t ~time:now "delivered-unsent"
+      (Printf.sprintf "receiver delivered %s (seq %d) never transmitted"
+         (short payload) seq);
+  r.delivered <- r.delivered + 1;
+  if r.delivered > r.tx_count then
+    violate t ~time:now "delivery-overcount"
+      (Printf.sprintf "%s delivered %d times but only %d copies were sent"
+         (short payload) r.delivered r.tx_count);
+  (match t.profile with
+  | Hdlc _ ->
+      if r.delivered > 1 then
+        violate t ~time:now "duplicate-delivery"
+          (Printf.sprintf "HDLC delivered %s twice" (short payload));
+      if r.offer_index <= t.last_delivered_offer then
+        violate t ~time:now "reorder"
+          (Printf.sprintf
+             "HDLC delivered offer #%d after offer #%d; in-sequence \
+              delivery is its contract"
+             r.offer_index t.last_delivered_offer)
+      else t.last_delivered_offer <- r.offer_index
+  | Lams _ | Nbdt ->
+      let n =
+        match Hashtbl.find_opt t.delivered_seq seq with
+        | Some n -> n + 1
+        | None -> 1
+      in
+      Hashtbl.replace t.delivered_seq seq n;
+      if n > 1 then
+        violate t ~time:now "per-seq-duplicate"
+          (Printf.sprintf "wire seq %d delivered %d times" seq n))
+
+let on_probe_event t ~now ev =
+  match (ev : Dlc.Probe.event) with
+  | Offered { payload } -> on_offered t ~now payload
+  | Tx { seq; payload; retx } -> on_tx t ~now ~seq ~payload ~retx
+  | Released { seq; payload } -> on_released t ~now ~seq ~payload
+  | Requeued { seq; payload } -> on_requeued t ~now ~seq ~payload
+  | Delivered { seq; payload } -> on_delivered t ~now ~seq ~payload
+  | Recovery_started ->
+      if t.recovery_open = None then t.recovery_open <- Some now
+  | Recovery_completed -> (
+      match t.recovery_open with
+      | Some s ->
+          t.recovery_episodes <- (s, now) :: t.recovery_episodes;
+          t.recovery_open <- None
+      | None -> ())
+  | Failure -> (
+      (* an open recovery never completes; keep it open so late releases
+         during drain stay exempt from the holding bound *)
+      match t.recovery_open with None -> t.recovery_open <- Some now | _ -> ())
+
+let observe t probe = Dlc.Probe.subscribe probe (fun ~now ev -> on_probe_event t ~now ev)
+
+(* --- reverse-link (checkpoint emission) observation --------------------- *)
+
+let on_checkpoint_tx t ~now (cp : Frame.Cframe.checkpoint) =
+  t.have_cp <- true;
+  if cp.Frame.Cframe.cp_seq <= t.last_cp_seq then
+    violate t ~time:now "cp-monotone"
+      (Printf.sprintf "checkpoint seq %d after %d" cp.Frame.Cframe.cp_seq
+         t.last_cp_seq);
+  t.last_cp_seq <- max t.last_cp_seq cp.Frame.Cframe.cp_seq;
+  if cp.Frame.Cframe.next_expected < t.last_next_expected then
+    violate t ~time:now "cp-next-expected"
+      (Printf.sprintf "next_expected regressed %d -> %d" t.last_next_expected
+         cp.Frame.Cframe.next_expected);
+  t.last_next_expected <- max t.last_next_expected cp.Frame.Cframe.next_expected;
+  match t.profile with
+  | Lams { c_depth; _ } when not cp.Frame.Cframe.enforced ->
+      let r = t.regular_cps in
+      t.regular_cps <- r + 1;
+      List.iter
+        (fun seq ->
+          match Hashtbl.find_opt t.nak_runs seq with
+          | None -> Hashtbl.replace t.nak_runs seq { last_r = r; count = 1 }
+          | Some run ->
+              if run.last_r <> r - 1 then
+                violate t ~time:now "nak-gap"
+                  (Printf.sprintf
+                     "NAK for seq %d in regular checkpoints #%d and #%d: \
+                      cumulation must be consecutive"
+                     seq run.last_r r)
+              else if run.count >= c_depth then
+                violate t ~time:now "nak-overrun"
+                  (Printf.sprintf
+                     "NAK for seq %d advertised %d times; c_depth is %d" seq
+                     (run.count + 1) c_depth);
+              run.last_r <- r;
+              run.count <- run.count + 1)
+        cp.Frame.Cframe.naks
+  | _ -> ()
+
+let on_reverse_tap t (ev : Channel.Link.tap_event) ~now =
+  match ev with
+  | Channel.Link.Tap_tx (Frame.Wire.Control (Frame.Cframe.Checkpoint cp)) ->
+      on_checkpoint_tx t ~now cp
+  | Channel.Link.Tap_tx (Frame.Wire.Hdlc_control h) -> (
+      match t.profile with
+      | Hdlc { seq_bits; _ } ->
+          let modulus = 1 lsl seq_bits in
+          if h.Frame.Hframe.nr < 0 || h.Frame.Hframe.nr >= modulus then
+            violate t ~time:now "hframe-range"
+              (Printf.sprintf "N(R) %d outside [0, %d)" h.Frame.Hframe.nr
+                 modulus)
+      | _ -> ())
+  | _ -> ()
+
+let observe_reverse t link =
+  (* the tap carries no timestamp; read the emission clock lazily via the
+     checkpoint's own issue_time where available, else the last known
+     next event time is unnecessary — Tap_tx fires synchronously inside
+     Link.send, so the frame's issue_time (set at creation, same event)
+     is the current simulated instant for every frame we inspect. *)
+  Channel.Link.add_tap link (fun ev ->
+      let now =
+        match ev with
+        | Channel.Link.Tap_tx (Frame.Wire.Control c) -> Frame.Cframe.issue_time c
+        | _ -> nan
+      in
+      on_reverse_tap t ev ~now)
+
+let attach t ~probe ~duplex =
+  observe t probe;
+  observe_reverse t duplex.Channel.Duplex.reverse
+
+(* --- finalisation ------------------------------------------------------- *)
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    match t.profile with
+    | Lams { c_depth; _ } ->
+        Hashtbl.iter
+          (fun seq run ->
+            (* a run still open when the session stopped is truncated, not
+               wrong; only runs that ended early mid-session under-report *)
+            if run.count < c_depth && run.last_r < t.regular_cps - 1 then
+              violate t ~time:nan "nak-underrun"
+                (Printf.sprintf
+                   "NAK for seq %d advertised only %d of %d times and its \
+                    run ended at checkpoint #%d of %d"
+                   seq run.count c_depth run.last_r (t.regular_cps - 1)))
+          t.nak_runs
+    | Hdlc _ | Nbdt -> ()
+  end
+
+let violations t = List.rev t.violations
+
+let ok t = t.violation_count = 0
+
+let report t =
+  if ok t then ""
+  else begin
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "%s: %d invariant violation(s)\n" t.name
+         t.violation_count);
+    List.iter
+      (fun v ->
+        Buffer.add_string b (Format.asprintf "  %a\n" pp_violation v))
+      (violations t);
+    if t.violation_count > max_recorded then
+      Buffer.add_string b
+        (Printf.sprintf "  ... %d more suppressed\n"
+           (t.violation_count - max_recorded));
+    Buffer.contents b
+  end
+
+let check t =
+  finalize t;
+  if not (ok t) then failwith (report t)
+
+module Stream = struct
+  type nonrec t = {
+    name : string;
+    mutable last : int;
+    mutable viols : violation list;
+  }
+
+  let create ~name = { name; last = min_int; viols = [] }
+
+  let push s ~now id =
+    if id <= s.last then
+      s.viols <-
+        {
+          time = now;
+          invariant = "stream-order";
+          detail =
+            Printf.sprintf "%s: id %d arrived after %d (duplicate or \
+                            reordered past the resequencer)"
+              s.name id s.last;
+        }
+        :: s.viols
+    else s.last <- id
+
+  let violations s = List.rev s.viols
+
+  let ok s = s.viols = []
+end

@@ -1,0 +1,94 @@
+(** Always-on protocol-invariant checker.
+
+    An oracle watches one session from the outside — the semantic
+    {!Dlc.Probe} stream plus a passive tap on the reverse link — and
+    checks the safety properties the paper argues for, online, while
+    any test or experiment runs:
+
+    - {b no loss}: a sending-buffer slot may be released only for a
+      payload the receiver has delivered (LAMS-DLC's implicit positive
+      acknowledgement — a checkpoint that passed the frame without
+      NAKing it); a release of an undelivered payload is the
+      catastrophic silent-loss case;
+    - {b implicit-ACK causality} (LAMS-DLC, NBDT): a released sequence
+      number must lie below the [next_expected] / frontier of some
+      checkpoint the receiver has already issued;
+    - {b no duplication beyond copies sent}: a payload may be delivered
+      at most once per transmitted copy; SR/GBN-HDLC must deliver
+      exactly once and in offer order;
+    - {b numbering sanity}: LAMS-DLC wire numbers are fresh and strictly
+      increasing (§3.2); HDLC numbers stay inside the cyclic space and
+      the send window; NBDT numbers are stable across retransmissions;
+    - {b bounded holding} (LAMS-DLC): the interval from a frame's last
+      transmission to its release stays within the resolving period
+      [R + w_cp/2 + c_depth * w_cp] (§3.3), except across an enforced
+      recovery;
+    - {b NAK cumulation} (LAMS-DLC): the receiver re-advertises each
+      erroneous sequence number in exactly [c_depth] {e consecutive}
+      regular checkpoints (§3.1), counted at the point of emission so
+      channel loss cannot mask a receiver bug;
+    - {b checkpoint monotony}: [cp_seq] strictly increases,
+      [next_expected] never regresses.
+
+    Violations are collected, not raised, so one run reports every
+    broken invariant; {!check} turns them into a test failure. *)
+
+type profile =
+  | Lams of { c_depth : int; holding_bound : float }
+      (** [holding_bound]: see {!Lams_dlc.Params.resolving_period};
+          callers add slack for serialisation and processing time. *)
+  | Hdlc of { window : int; seq_bits : int }
+  | Nbdt
+
+type violation = {
+  time : float;  (** simulated time of detection *)
+  invariant : string;  (** stable machine-readable name *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : ?name:string -> profile -> t
+
+val observe : t -> Dlc.Probe.t -> unit
+(** Subscribe to a session's semantic events. *)
+
+val observe_reverse : t -> Channel.Link.t -> unit
+(** Tap the reverse (receiver-to-sender) link to watch checkpoints and
+    status reports as they are {e emitted} — upstream of any loss.
+    Installed with {!Channel.Link.add_tap}, so it coexists with tracers. *)
+
+val attach : t -> probe:Dlc.Probe.t -> duplex:Channel.Duplex.t -> unit
+(** [observe] + [observe_reverse duplex.reverse]. *)
+
+val finalize : t -> unit
+(** End-of-run checks (NAK-cumulation runs truncated by session stop are
+    exempted). Idempotent. *)
+
+val violations : t -> violation list
+(** Chronological. Meaningful any time; complete after {!finalize}. *)
+
+val ok : t -> bool
+
+val report : t -> string
+(** Human-readable multi-line summary, empty-string when clean. *)
+
+val check : t -> unit
+(** [finalize] then raise [Failure] with {!report} unless {!ok}. *)
+
+(** Order checker for post-resequencer streams: {!Netstack.Resequencer}
+    must hand each source's messages to the application in strictly
+    increasing id order with no duplicates, whatever the links did. *)
+module Stream : sig
+  type t
+
+  val create : name:string -> t
+
+  val push : t -> now:float -> int -> unit
+
+  val violations : t -> violation list
+
+  val ok : t -> bool
+end

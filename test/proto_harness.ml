@@ -1,11 +1,13 @@
 (* Shared harness for protocol tests: build a session over a configurable
    duplex link, drive a workload, return everything needed for
-   assertions. *)
+   assertions. Every session is watched by an invariant {!Oracle}; a
+   scripted {!Channel.Fault} can be installed on either direction. *)
 
 type t = {
   engine : Sim.Engine.t;
   duplex : Channel.Duplex.t;
   dlc : Dlc.Session.t;
+  oracle : Oracle.t;
   delivered : (string, int) Hashtbl.t;  (* payload -> times delivered *)
   mutable delivery_order : string list;  (* newest first *)
 }
@@ -28,16 +30,47 @@ let make_duplex ?(seed = 1) ?(ber = 0.) ?(cber = 0.) ?(distance = 1_000_000.)
     ~distance_m:distance ~data_rate_bps:rate ~iframe_error
     ~cframe_error:(Channel.Error_model.uniform ~ber:cber ())
 
-let lams ?seed ?ber ?cber ?distance ?rate ?iframe_error
-    ?(params = Lams_dlc.Params.default) () =
+let install_faults ~faults ~reverse_faults (duplex : Channel.Duplex.t) =
+  (match faults with
+  | Some f -> Channel.Fault.install f duplex.Channel.Duplex.forward
+  | None -> ());
+  match reverse_faults with
+  | Some f -> Channel.Fault.install f duplex.Channel.Duplex.reverse
+  | None -> ()
+
+(* Holding bound for the LAMS oracle: the resolving period (paper §3.3)
+   plus slack for checkpoint phase, serialisation and processing. *)
+let lams_holding_bound ~params ~rate (duplex : Channel.Duplex.t) =
+  let rtt =
+    2.
+    *. Channel.Link.propagation_delay duplex.Channel.Duplex.forward ~at:0.
+  in
+  Lams_dlc.Params.resolving_period params ~rtt
+  +. params.Lams_dlc.Params.w_cp
+  +. (65536. /. rate)
+  +. 1e-3
+
+let lams ?seed ?ber ?cber ?distance ?(rate = 100e6) ?iframe_error ?faults
+    ?reverse_faults ?(params = Lams_dlc.Params.default) () =
   let engine = Sim.Engine.create () in
-  let duplex = make_duplex ?seed ?ber ?cber ?distance ?rate ?iframe_error engine in
+  let duplex = make_duplex ?seed ?ber ?cber ?distance ~rate ?iframe_error engine in
   let session = Lams_dlc.Session.create engine ~params ~duplex in
+  let oracle =
+    Oracle.create ~name:"lams-oracle"
+      (Oracle.Lams
+         {
+           c_depth = params.Lams_dlc.Params.c_depth;
+           holding_bound = lams_holding_bound ~params ~rate duplex;
+         })
+  in
+  Oracle.attach oracle ~probe:(Lams_dlc.Session.probe session) ~duplex;
+  install_faults ~faults ~reverse_faults duplex;
   let t =
     {
       engine;
       duplex;
       dlc = Lams_dlc.Session.as_dlc session;
+      oracle;
       delivered = Hashtbl.create 64;
       delivery_order = [];
     }
@@ -45,16 +78,20 @@ let lams ?seed ?ber ?cber ?distance ?rate ?iframe_error
   record_deliveries t;
   (t, session)
 
-let nbdt ?seed ?ber ?cber ?distance ?rate ?iframe_error
-    ?(params = Nbdt.Params.default) () =
+let nbdt ?seed ?ber ?cber ?distance ?rate ?iframe_error ?faults
+    ?reverse_faults ?(params = Nbdt.Params.default) () =
   let engine = Sim.Engine.create () in
   let duplex = make_duplex ?seed ?ber ?cber ?distance ?rate ?iframe_error engine in
   let session = Nbdt.Session.create engine ~params ~duplex in
+  let oracle = Oracle.create ~name:"nbdt-oracle" Oracle.Nbdt in
+  Oracle.attach oracle ~probe:(Nbdt.Session.probe session) ~duplex;
+  install_faults ~faults ~reverse_faults duplex;
   let t =
     {
       engine;
       duplex;
       dlc = Nbdt.Session.as_dlc session;
+      oracle;
       delivered = Hashtbl.create 64;
       delivery_order = [];
     }
@@ -62,16 +99,27 @@ let nbdt ?seed ?ber ?cber ?distance ?rate ?iframe_error
   record_deliveries t;
   (t, session)
 
-let hdlc ?seed ?ber ?cber ?distance ?rate ?iframe_error
-    ?(params = Hdlc.Params.default) () =
+let hdlc ?seed ?ber ?cber ?distance ?rate ?iframe_error ?faults
+    ?reverse_faults ?(params = Hdlc.Params.default) () =
   let engine = Sim.Engine.create () in
   let duplex = make_duplex ?seed ?ber ?cber ?distance ?rate ?iframe_error engine in
   let session = Hdlc.Session.create engine ~params ~duplex in
+  let oracle =
+    Oracle.create ~name:"hdlc-oracle"
+      (Oracle.Hdlc
+         {
+           window = params.Hdlc.Params.window;
+           seq_bits = params.Hdlc.Params.seq_bits;
+         })
+  in
+  Oracle.attach oracle ~probe:(Hdlc.Session.probe session) ~duplex;
+  install_faults ~faults ~reverse_faults duplex;
   let t =
     {
       engine;
       duplex;
       dlc = Hdlc.Session.as_dlc session;
+      oracle;
       delivered = Hashtbl.create 64;
       delivery_order = [];
     }
@@ -87,10 +135,15 @@ let offer_all t n =
       Alcotest.failf "offer %d refused" i
   done
 
-let run_to_completion ?(horizon = 60.) t =
+let assert_oracle t =
+  Oracle.finalize t.oracle;
+  if not (Oracle.ok t.oracle) then Alcotest.failf "%s" (Oracle.report t.oracle)
+
+let run_to_completion ?(horizon = 60.) ?(check_oracle = true) t =
   Sim.Engine.run t.engine ~until:horizon;
   t.dlc.Dlc.Session.stop ();
-  Sim.Engine.run t.engine
+  Sim.Engine.run t.engine;
+  if check_oracle then assert_oracle t
 
 let delivered_exactly_once t n =
   for i = 0 to n - 1 do

@@ -180,6 +180,31 @@ let prop_any_single_flip_detected =
           | Frame.Wire.Data a, Frame.Wire.Data b' -> Frame.Iframe.equal a b'
           | _ -> false))
 
+let prop_flip_never_misidentifies_seq =
+  QCheck2.Test.make
+    ~name:"single-bit flip never mislabels Payload_corrupt with a wrong seq"
+    ~count:500
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000)
+        (string_size ~gen:char (int_range 1 300))
+        (int_range 0 100_000))
+    (fun (seq, payload, bit_seed) ->
+      (* the LAMS receiver NAKs the seq reported by Payload_corrupt; a
+         wrong seq there would make it NAK an innocent frame, so the
+         header CRC must catch every header flip before the payload CRC
+         gets to speak *)
+      let f = Frame.Wire.Data (Frame.Iframe.create ~seq ~payload) in
+      let b = Frame.Codec.encode f in
+      let bit = bit_seed mod (8 * Bytes.length b) in
+      Frame.Codec.flip_bit b bit;
+      match Frame.Codec.decode b with
+      | Error (Frame.Codec.Payload_corrupt { seq = reported }) ->
+          reported = seq
+      | Ok (Frame.Wire.Data f') ->
+          Frame.Iframe.equal f' (Frame.Iframe.create ~seq ~payload)
+      | Ok _ -> false
+      | Error _ -> true)
+
 let prop_decode_never_raises =
   QCheck2.Test.make ~name:"decode total on arbitrary byte strings" ~count:1000
     QCheck2.Gen.(string_size ~gen:char (int_range 0 200))
@@ -204,5 +229,6 @@ let suite =
     Alcotest.test_case "empty buffer" `Quick test_empty_buffer;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_any_single_flip_detected;
+    QCheck_alcotest.to_alcotest prop_flip_never_misidentifies_seq;
     QCheck_alcotest.to_alcotest prop_decode_never_raises;
   ]

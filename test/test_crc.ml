@@ -57,6 +57,23 @@ let prop_crc32_detects_single_bit_flip =
       let after = Frame.Crc.crc32 b ~pos:0 ~len:(Bytes.length b) in
       before <> after)
 
+let prop_crc16_detects_double_bit_flip =
+  (* CCITT-FALSE detects all 2-bit errors within its 32751-bit design
+     block length; every frame in this codebase is far shorter *)
+  QCheck2.Test.make ~name:"crc16 detects any double-bit flip" ~count:300
+    QCheck2.Gen.(triple gen_payload (int_range 0 10_000) (int_range 1 10_000))
+    (fun (s, seed_a, seed_b) ->
+      let b = Bytes.of_string s in
+      let bits = 8 * Bytes.length b in
+      let i = seed_a mod bits in
+      let j = (i + 1 + (seed_b mod (bits - 1))) mod bits in
+      QCheck2.assume (i <> j);
+      let before = Frame.Crc.crc16 b ~pos:0 ~len:(Bytes.length b) in
+      Frame.Codec.flip_bit b i;
+      Frame.Codec.flip_bit b j;
+      let after = Frame.Crc.crc16 b ~pos:0 ~len:(Bytes.length b) in
+      before <> after)
+
 let prop_crc_deterministic =
   QCheck2.Test.make ~name:"crc is a pure function" ~count:200 gen_payload
     (fun s -> Frame.Crc.crc16_string s = Frame.Crc.crc16_string s
@@ -73,5 +90,6 @@ let suite =
     Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
     QCheck_alcotest.to_alcotest prop_crc16_detects_single_bit_flip;
     QCheck_alcotest.to_alcotest prop_crc32_detects_single_bit_flip;
+    QCheck_alcotest.to_alcotest prop_crc16_detects_double_bit_flip;
     QCheck_alcotest.to_alcotest prop_crc_deterministic;
   ]

@@ -26,6 +26,7 @@ let make ?(mode = Hdlc.Params.Selective_repeat) ?(window = 8) () =
   let params = { Hdlc.Params.default with Hdlc.Params.mode; window } in
   let receiver =
     Hdlc.Receiver.create engine ~params ~reverse ~metrics:(Dlc.Metrics.create ())
+      ~probe:(Dlc.Probe.create ())
   in
   let delivered = ref [] in
   Hdlc.Receiver.set_on_deliver receiver (fun ~payload:_ ~seq ->

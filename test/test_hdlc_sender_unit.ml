@@ -28,6 +28,7 @@ let make ?(mode = Hdlc.Params.Selective_repeat) ?(window = 4) () =
   in
   let sender =
     Hdlc.Sender.create engine ~params ~forward ~metrics:(Dlc.Metrics.create ())
+      ~probe:(Dlc.Probe.create ())
   in
   { engine; sender; txed }
 

@@ -31,7 +31,7 @@ let make ?(w_cp = 1e-3) ?(c_depth = 3) () =
   in
   let receiver =
     Lams_dlc.Receiver.create engine ~params ~reverse
-      ~metrics:(Dlc.Metrics.create ())
+      ~metrics:(Dlc.Metrics.create ()) ~probe:(Dlc.Probe.create ())
   in
   { engine; receiver; sent }
 

@@ -23,6 +23,7 @@ let () =
       ("nbdt", Test_nbdt.suite);
       ("nbdt-receiver-unit", Test_nbdt_receiver_unit.suite);
       ("analysis", Test_analysis.suite);
+      ("oracle", Test_oracle.suite);
       ("netstack", Test_netstack.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);

@@ -29,6 +29,7 @@ let make ?(report_interval = 1e-3) ?(max_report_misses = 512) () =
   in
   let receiver =
     Nbdt.Receiver.create engine ~params ~reverse ~metrics:(Dlc.Metrics.create ())
+      ~probe:(Dlc.Probe.create ())
   in
   let delivered = ref [] in
   Nbdt.Receiver.set_on_deliver receiver (fun ~payload:_ ~seq ->

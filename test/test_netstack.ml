@@ -135,6 +135,108 @@ let prop_resequencer_any_order_any_dups =
       List.iter (Netstack.Resequencer.push r) frags;
       !out = Some body)
 
+(* A message id that already completed must never be delivered again:
+   after an enforced recovery a whole message's fragments can arrive a
+   second time (the paper's bounded-duplication re-routing case). *)
+let test_resequencer_replay_after_completion () =
+  let r = Netstack.Resequencer.create () in
+  let count = ref 0 in
+  Netstack.Resequencer.set_on_message r (fun ~src:_ ~msg_id:_ ~body:_ ->
+      incr count);
+  let frags =
+    Workload.Messages.fragment_message ~msg_id:3 ~src:2 ~dst:0 ~mtu:4
+      "0123456789"
+  in
+  List.iter (Netstack.Resequencer.push r) frags;
+  Alcotest.(check int) "first pass delivers" 1 !count;
+  (* full replay of the completed message *)
+  List.iter (Netstack.Resequencer.push r) frags;
+  Alcotest.(check int) "replay suppressed" 1 !count;
+  Alcotest.(check int) "all replayed fragments counted as duplicates"
+    (List.length frags)
+    (Netstack.Resequencer.duplicates_dropped r);
+  Alcotest.(check int) "no resurrected partial state" 0
+    (Netstack.Resequencer.pending_messages r)
+
+(* A gap that is never filled must never release the message: the
+   destination buffers forever rather than deliver a hole. The network
+   layer above decides when to give up (after the resolving period it
+   re-routes with a definite verdict); the resequencer itself stays
+   safe. *)
+let test_resequencer_gap_never_releases () =
+  let r = Netstack.Resequencer.create () in
+  let count = ref 0 in
+  Netstack.Resequencer.set_on_message r (fun ~src:_ ~msg_id:_ ~body:_ ->
+      incr count);
+  match
+    Workload.Messages.fragment_message ~msg_id:8 ~src:0 ~dst:1 ~mtu:2
+      "aabbcc"
+  with
+  | [ f0; _f1; f2 ] ->
+      Netstack.Resequencer.push r f0;
+      Netstack.Resequencer.push r f2;
+      Netstack.Resequencer.push r f2;  (* duplicate of a buffered fragment *)
+      Alcotest.(check int) "nothing delivered" 0 !count;
+      Alcotest.(check int) "one message pending" 1
+        (Netstack.Resequencer.pending_messages r);
+      Alcotest.(check int) "two distinct fragments buffered" 2
+        (Netstack.Resequencer.pending_fragments r);
+      Alcotest.(check int) "duplicate of buffered fragment dropped" 1
+        (Netstack.Resequencer.duplicates_dropped r)
+  | _ -> Alcotest.fail "bad fragmentation"
+
+(* Large msg_id values (wraparound of an upstream 16-bit counter would
+   reuse ids — the resequencer treats ids as opaque, so reuse after
+   completion deduplicates; distinct large ids stay distinct) *)
+let test_resequencer_id_reuse_after_wraparound () =
+  let r = Netstack.Resequencer.create () in
+  let got = ref [] in
+  Netstack.Resequencer.set_on_message r (fun ~src:_ ~msg_id ~body ->
+      got := (msg_id, body) :: !got);
+  let push_msg ~msg_id body =
+    List.iter (Netstack.Resequencer.push r)
+      (Workload.Messages.fragment_message ~msg_id ~src:1 ~dst:0 ~mtu:8 body)
+  in
+  push_msg ~msg_id:65_535 "before-wrap";
+  push_msg ~msg_id:0 "after-wrap";
+  (* a wrapped counter reusing id 65535 for NEW content is silently
+     deduplicated — the documented cost of id reuse *)
+  push_msg ~msg_id:65_535 "reused-id";
+  Alcotest.(check (list (pair int string))) "reused id suppressed"
+    [ (65_535, "before-wrap"); (0, "after-wrap") ]
+    (List.rev !got)
+
+(* Post-resequencer ordering invariant, checked by the oracle's stream
+   checker: per source, completed messages come out in increasing
+   msg_id order when the source emits them in order, however fragments
+   interleave. *)
+let prop_resequencer_stream_order =
+  QCheck2.Test.make ~name:"completion order equals submission order"
+    ~count:100
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      (* fragments of each message arrive in an arbitrary permutation
+         (what a LAMS link with renumbered retransmissions produces),
+         but messages themselves finish transit one after another; the
+         resequencer must then complete them in strictly increasing
+         msg_id order, which Oracle.Stream checks verbatim *)
+      let rng = Sim.Rng.create ~seed in
+      let r = Netstack.Resequencer.create () in
+      let stream = Oracle.Stream.create ~name:"reseq" in
+      Netstack.Resequencer.set_on_message r (fun ~src:_ ~msg_id ~body:_ ->
+          Oracle.Stream.push stream ~now:0. msg_id);
+      List.iter
+        (fun id ->
+          let frags =
+            Array.of_list
+              (Workload.Messages.fragment_message ~msg_id:id ~src:0 ~dst:1
+                 ~mtu:3 (Printf.sprintf "message-%04d" id))
+          in
+          Sim.Rng.shuffle rng frags;
+          Array.iter (Netstack.Resequencer.push r) frags)
+        (List.init 20 Fun.id);
+      Oracle.Stream.ok stream && Netstack.Resequencer.completed r = 20)
+
 (* --- Network --- *)
 
 let perfect_lams_link engine ~seed =
@@ -240,6 +342,13 @@ let suite =
     Alcotest.test_case "resequencer dedup" `Quick test_resequencer_dedup;
     Alcotest.test_case "resequencer interleaved" `Quick test_resequencer_interleaved_messages;
     QCheck_alcotest.to_alcotest prop_resequencer_any_order_any_dups;
+    Alcotest.test_case "resequencer replay after completion" `Quick
+      test_resequencer_replay_after_completion;
+    Alcotest.test_case "resequencer gap never releases" `Quick
+      test_resequencer_gap_never_releases;
+    Alcotest.test_case "resequencer id reuse after wraparound" `Quick
+      test_resequencer_id_reuse_after_wraparound;
+    QCheck_alcotest.to_alcotest prop_resequencer_stream_order;
     Alcotest.test_case "network single hop" `Quick test_network_single_hop;
     Alcotest.test_case "network multi hop" `Quick test_network_multi_hop_chain;
     Alcotest.test_case "network lossy chain" `Quick test_network_lossy_chain;
