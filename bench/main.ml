@@ -1,9 +1,9 @@
 (* Benchmark harness.
 
-   Two halves:
+   Three halves:
 
    1. Experiment regeneration — prints the table behind every evaluation
-      result of the paper (E1..E12; see DESIGN.md for the index). This is
+      result of the paper (E1..E20; see DESIGN.md for the index). This is
       the "regenerate every table and figure" harness: run
         dune exec bench/main.exe              (full sweeps)
         dune exec bench/main.exe -- quick     (small sweeps)
@@ -12,7 +12,16 @@
    2. Bechamel micro-benchmarks — one Test.make per experiment family
       plus the substrate hot paths (event engine, CRC, codec, Viterbi,
       channel model, full protocol sessions). Skipped when the first
-      argument is "tables"; run alone with "micro". *)
+      argument is "tables"; run alone with "micro".
+
+   3. The machine-readable pipeline (Bench_report):
+        dune exec bench/main.exe -- json [-quota S] [-limit N] OUT.json
+      writes the micro-benchmark results (which include per-experiment
+      quick-table regeneration subjects) as schema-stable JSON, and
+        dune exec bench/main.exe -- compare [-threshold PCT] OLD NEW
+      diffs two such files, exiting 1 when any subject regressed beyond
+      the threshold (default 20%). CI runs this against the checked-in
+      BENCH_seed.json; see README "Benchmarking". *)
 
 open Bechamel
 open Toolkit
@@ -46,11 +55,26 @@ let bench_crc32 =
   Test.make ~name:"frame: crc32 of 1 kB"
     (Staged.stage (fun () -> ignore (Frame.Crc.crc32 b ~pos:0 ~len:1024 : int32)))
 
+let bench_crc16 =
+  let b = Bytes.of_string payload_1k in
+  Test.make ~name:"frame: crc16 of 1 kB"
+    (Staged.stage (fun () -> ignore (Frame.Crc.crc16 b ~pos:0 ~len:1024 : int)))
+
 let bench_codec_roundtrip =
   let frame = Frame.Wire.Data (Frame.Iframe.create ~seq:7 ~payload:payload_1k) in
   Test.make ~name:"frame: encode+decode 1 kB I-frame"
     (Staged.stage (fun () ->
          match Frame.Codec.decode (Frame.Codec.encode frame) with
+         | Ok _ -> ()
+         | Error _ -> assert false))
+
+let bench_codec_scratch =
+  let frame = Frame.Wire.Data (Frame.Iframe.create ~seq:7 ~payload:payload_1k) in
+  let scratch = Frame.Codec.create_scratch () in
+  Test.make ~name:"frame: scratch encode+decode 1 kB I-frame"
+    (Staged.stage (fun () ->
+         let buf, len = Frame.Codec.encode_scratch scratch frame in
+         match Frame.Codec.decode ~pos:0 ~len buf with
          | Ok _ -> ()
          | Error _ -> assert false))
 
@@ -111,8 +135,10 @@ let micro_tests =
   [
     bench_engine_events;
     bench_rng;
+    bench_crc16;
     bench_crc32;
     bench_codec_roundtrip;
+    bench_codec_scratch;
     bench_viterbi;
     bench_ge_model;
     bench_lams_session;
@@ -122,60 +148,173 @@ let micro_tests =
 
 (* --- bechamel driver ----------------------------------------------------- *)
 
-let run_micro () =
+let default_quota = 0.25
+
+let default_limit = 200
+
+(* Run every subject and fold the raw measurements into report subjects:
+   OLS ns/run estimate with r², plus per-sample mean/stddev. *)
+let measure ~quota ~limit =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
-  in
+  let clock = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
   let raw =
-    Benchmark.all cfg instances
+    Benchmark.all cfg [ clock ]
       (Test.make_grouped ~name:"lams-dlc" ~fmt:"%s %s" micro_tests)
   in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  let estimates = Analyze.all ols clock raw in
+  let label = Measure.label clock in
+  let subjects =
+    Hashtbl.fold
+      (fun name bench acc ->
+        let ns_per_run, r_square =
+          match Hashtbl.find_opt estimates name with
+          | None -> (nan, nan)
+          | Some o ->
+              ( (match Analyze.OLS.estimates o with
+                | Some (est :: _) -> est
+                | Some [] | None -> nan),
+                match Analyze.OLS.r_square o with Some r -> r | None -> nan )
+        in
+        let ns_samples =
+          Array.to_list bench.Benchmark.lr
+          |> List.filter_map (fun m ->
+                 let runs = Measurement_raw.run m in
+                 if runs > 0. then Some (Measurement_raw.get ~label m /. runs)
+                 else None)
+        in
+        Bench_report.Report.subject_of_samples ~name ~ns_per_run ~r_square
+          ~ns_samples
+        :: acc)
+      raw []
   in
-  let results = Analyze.merge ols instances results in
-  (* plain-text report: nanoseconds per run, by OLS estimate *)
+  List.sort
+    (fun a b -> compare a.Bench_report.Report.name b.Bench_report.Report.name)
+    subjects
+
+let run_micro () =
+  let subjects = measure ~quota:default_quota ~limit:default_limit in
   Format.printf "@.=== micro-benchmarks (monotonic clock, ns/run) ===@.";
-  Hashtbl.iter
-    (fun _measure per_test ->
-      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test [] in
-      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-      List.iter
-        (fun (name, ols) ->
-          match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Format.printf "%-45s %12.1f@." name est
-          | Some [] | None -> Format.printf "%-45s %12s@." name "n/a")
-        rows)
-    results
+  List.iter
+    (fun s ->
+      Format.printf "%-45s %12.1f  (r²=%.4f, n=%d)@." s.Bench_report.Report.name
+        s.Bench_report.Report.ns_per_run s.Bench_report.Report.r_square
+        s.Bench_report.Report.samples)
+    subjects
+
+(* --- json / compare modes ------------------------------------------------ *)
+
+let run_json ~quota ~limit out =
+  let subjects = measure ~quota ~limit in
+  let meta = Bench_report.Report.collect_meta ~quota_s:quota ~limit in
+  let report =
+    {
+      Bench_report.Report.schema_version = Bench_report.Report.schema_version;
+      meta;
+      subjects;
+    }
+  in
+  Bench_report.Report.write out report;
+  Format.printf "wrote %d subjects to %s@." (List.length subjects) out
+
+let run_compare ~threshold baseline current =
+  let read path =
+    match Bench_report.Report.read path with
+    | Ok r -> r
+    | Error msg ->
+        Format.eprintf "%s: %s@." path msg;
+        exit 2
+  in
+  let baseline = read baseline and current = read current in
+  let verdict =
+    Bench_report.Compare.run ~threshold_pct:threshold ~baseline ~current ()
+  in
+  Format.printf "%a" Bench_report.Compare.pp verdict;
+  if Bench_report.Compare.failed verdict then exit 1
 
 (* --- entry point --------------------------------------------------------- *)
 
-let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "quick" args in
-  let micro_only = List.mem "micro" args in
-  let tables_only = List.mem "tables" args in
-  let ids =
-    List.filter (fun a -> not (List.mem a [ "quick"; "micro"; "tables" ])) args
+let usage () =
+  Format.eprintf
+    "usage: main.exe [quick|tables|micro] [EXPERIMENT_ID...]@.\
+    \       main.exe json [-quota SECONDS] [-limit N] OUT.json@.\
+    \       main.exe compare [-threshold PCT] BASELINE.json CURRENT.json@.\
+     valid experiment ids: %s@."
+    (String.concat ", "
+       (List.map (fun e -> e.Experiments.All.id) Experiments.All.all));
+  exit 2
+
+let float_arg name v =
+  match float_of_string_opt v with
+  | Some f when f > 0. -> f
+  | _ ->
+      Format.eprintf "%s: expected a positive number, got %S@." name v;
+      usage ()
+
+let int_arg name v =
+  match int_of_string_opt v with
+  | Some i when i > 0 -> i
+  | _ ->
+      Format.eprintf "%s: expected a positive integer, got %S@." name v;
+      usage ()
+
+let rec parse_json_args ~quota ~limit = function
+  | [ out ] -> (quota, limit, out)
+  | "-quota" :: v :: rest ->
+      parse_json_args ~quota:(float_arg "-quota" v) ~limit rest
+  | "-limit" :: v :: rest ->
+      parse_json_args ~quota ~limit:(int_arg "-limit" v) rest
+  | _ -> usage ()
+
+let rec parse_compare_args ~threshold = function
+  | [ baseline; current ] -> (threshold, baseline, current)
+  | "-threshold" :: v :: rest ->
+      parse_compare_args ~threshold:(float_arg "-threshold" v) rest
+  | _ -> usage ()
+
+let run_tables ~quick ids =
+  Format.printf "=== experiment tables (paper evaluation reproduction) ===@.";
+  let selected =
+    if ids = [] then Experiments.All.all
+    else
+      List.map
+        (fun id ->
+          match Experiments.All.find id with
+          | Some e -> e
+          | None ->
+              Format.eprintf "unknown experiment id %S@." id;
+              usage ())
+        ids
   in
-  if not micro_only then begin
-    Format.printf "=== experiment tables (paper evaluation reproduction) ===@.";
-    let selected =
-      if ids = [] then Experiments.All.all
-      else
-        List.filter_map
-          (fun id ->
-            match Experiments.All.find id with
-            | Some e -> Some e
-            | None ->
-                Format.eprintf "unknown experiment %S; skipping@." id;
-                None)
-          ids
-    in
-    List.iter (fun e -> e.Experiments.All.run ~quick Format.std_formatter) selected
-  end;
-  if not tables_only then run_micro ()
+  List.iter (fun e -> e.Experiments.All.run ~quick Format.std_formatter) selected
+
+let () =
+  match Array.to_list Sys.argv |> List.tl with
+  | "json" :: rest ->
+      let quota, limit, out =
+        parse_json_args ~quota:default_quota ~limit:default_limit rest
+      in
+      run_json ~quota ~limit out
+  | "compare" :: rest ->
+      let threshold, baseline, current =
+        parse_compare_args ~threshold:20. rest
+      in
+      run_compare ~threshold baseline current
+  | args ->
+      let quick = List.mem "quick" args in
+      let micro_only = List.mem "micro" args in
+      let tables_only = List.mem "tables" args in
+      let ids =
+        List.filter (fun a -> not (List.mem a [ "quick"; "micro"; "tables" ])) args
+      in
+      List.iter
+        (fun id ->
+          if String.length id > 0 && id.[0] = '-' then begin
+            Format.eprintf "unknown option %S@." id;
+            usage ()
+          end)
+        ids;
+      if not micro_only then run_tables ~quick ids;
+      if not tables_only then run_micro ()

@@ -50,10 +50,52 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ quick $ all)
 
+(* Machine-readable metrics for ad-hoc runs, mirroring [Dlc.Metrics.pp].
+   Built on the [Stats] JSON emitters so the shape of the [Online]
+   accumulators matches the benchmark pipeline's output. *)
+let metrics_json ~protocol ~extra (m : Dlc.Metrics.t) =
+  let buf = Buffer.create 1024 in
+  let sep = ref "" in
+  let field k v =
+    Printf.bprintf buf "%s%s: %s" !sep (Stats.Jsonstr.escape k) v;
+    sep := ", "
+  in
+  let int k v = field k (string_of_int v) in
+  let flt k v = field k (Stats.Jsonstr.float_repr v) in
+  Buffer.add_char buf '{';
+  field "protocol" (Stats.Jsonstr.escape protocol);
+  int "offered" m.Dlc.Metrics.offered;
+  int "refused" m.Dlc.Metrics.refused;
+  int "iframes_sent" m.Dlc.Metrics.iframes_sent;
+  int "retransmissions" m.Dlc.Metrics.retransmissions;
+  int "control_sent" m.Dlc.Metrics.control_sent;
+  int "naks_sent" m.Dlc.Metrics.naks_sent;
+  int "delivered" m.Dlc.Metrics.delivered;
+  int "duplicates" m.Dlc.Metrics.duplicates;
+  int "unique_delivered" (Dlc.Metrics.unique_delivered m);
+  int "loss" (Dlc.Metrics.loss m);
+  int "payload_bytes_delivered" m.Dlc.Metrics.payload_bytes_delivered;
+  int "failures_detected" m.Dlc.Metrics.failures_detected;
+  int "send_buffer_peak" m.Dlc.Metrics.send_buffer_peak;
+  int "recv_buffer_peak" m.Dlc.Metrics.recv_buffer_peak;
+  flt "elapsed_s" (Dlc.Metrics.elapsed m);
+  field "holding_time" (Stats.Online.to_json_string m.Dlc.Metrics.holding_time);
+  field "delivery_delay"
+    (Stats.Online.to_json_string m.Dlc.Metrics.delivery_delay);
+  field "send_buffer" (Stats.Online.to_json_string m.Dlc.Metrics.send_buffer);
+  field "recv_buffer" (Stats.Online.to_json_string m.Dlc.Metrics.recv_buffer);
+  List.iter (fun (k, v) -> field k v) extra;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
 let sim_cmd =
   let doc =
     "Run a single ad-hoc scenario (protocol, link and channel from flags) \
      and print its metrics."
+  in
+  let json =
+    let doc = "Print the metrics as a single JSON object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
   in
   let protocol =
     let doc = "Protocol: lams, sr-hdlc, gbn-hdlc, sr-st, gbn-st, nbdt, \
@@ -87,7 +129,7 @@ let sim_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run protocol frames ber cber distance_km rate_mbps payload seed =
+  let run protocol frames ber cber distance_km rate_mbps payload seed json =
     let cfg =
       {
         Experiments.Scenario.default with
@@ -121,12 +163,30 @@ let sim_cmd =
     match proto with
     | Some proto ->
         let r = Experiments.Scenario.run cfg proto in
-        Format.printf "protocol: %s@." protocol;
-        Format.printf "%a@." Dlc.Metrics.pp r.Experiments.Scenario.metrics;
-        Format.printf
-          "elapsed: %.4f s   efficiency: %.4f   completed: %b   backlog: %d@."
-          r.Experiments.Scenario.elapsed r.Experiments.Scenario.efficiency
-          r.Experiments.Scenario.completed r.Experiments.Scenario.sender_backlog;
+        if json then
+          print_endline
+            (metrics_json ~protocol
+               ~extra:
+                 [
+                   ( "wall_elapsed_s",
+                     Stats.Jsonstr.float_repr r.Experiments.Scenario.elapsed );
+                   ( "efficiency",
+                     Stats.Jsonstr.float_repr r.Experiments.Scenario.efficiency
+                   );
+                   ( "completed",
+                     string_of_bool r.Experiments.Scenario.completed );
+                   ( "sender_backlog",
+                     string_of_int r.Experiments.Scenario.sender_backlog );
+                 ]
+               r.Experiments.Scenario.metrics)
+        else begin
+          Format.printf "protocol: %s@." protocol;
+          Format.printf "%a@." Dlc.Metrics.pp r.Experiments.Scenario.metrics;
+          Format.printf
+            "elapsed: %.4f s   efficiency: %.4f   completed: %b   backlog: %d@."
+            r.Experiments.Scenario.elapsed r.Experiments.Scenario.efficiency
+            r.Experiments.Scenario.completed r.Experiments.Scenario.sender_backlog
+        end;
         `Ok ()
     | None -> (
         (* NBDT runs outside Scenario (different param record) *)
@@ -165,8 +225,12 @@ let sim_cmd =
             Sim.Engine.run engine ~until:120.;
             dlc.Dlc.Session.stop ();
             Sim.Engine.run engine;
-            Format.printf "protocol: %s@.%a@." protocol Dlc.Metrics.pp
-              dlc.Dlc.Session.metrics;
+            if json then
+              print_endline
+                (metrics_json ~protocol ~extra:[] dlc.Dlc.Session.metrics)
+            else
+              Format.printf "protocol: %s@.%a@." protocol Dlc.Metrics.pp
+                dlc.Dlc.Session.metrics;
             `Ok ()
         | other ->
             `Error (false, Printf.sprintf "unknown protocol %S (try lams, sr-hdlc, gbn-hdlc, sr-st, gbn-st, nbdt, nbdt-multiphase)" other))
@@ -175,7 +239,7 @@ let sim_cmd =
     Term.(
       ret
         (const run $ protocol $ frames $ ber $ cber $ distance_km $ rate_mbps
-       $ payload $ seed))
+       $ payload $ seed $ json))
 
 let () =
   let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in

@@ -1,0 +1,117 @@
+type status = Improved | Regressed | Unchanged | Added | Removed
+
+type delta = {
+  name : string;
+  status : status;
+  baseline_ns : float option;
+  current_ns : float option;
+  ratio : float option;
+}
+
+type verdict = {
+  threshold_pct : float;
+  deltas : delta list;
+  regressed : int;
+  improved : int;
+  added : int;
+  removed : int;
+}
+
+let status_label = function
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Unchanged -> "unchanged"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let classify ~threshold_pct ~ratio =
+  let up = 1. +. (threshold_pct /. 100.) in
+  if ratio > up then Regressed
+  else if ratio < 1. /. up then Improved
+  else Unchanged
+
+let run ?(threshold_pct = 20.) ~(baseline : Report.t) ~(current : Report.t) ()
+    =
+  if not (threshold_pct > 0.) then
+    invalid_arg "Compare.run: threshold_pct must be positive";
+  let matched =
+    List.map
+      (fun (b : Report.subject) ->
+        match Report.find current b.Report.name with
+        | None ->
+            {
+              name = b.Report.name;
+              status = Removed;
+              baseline_ns = Some b.Report.ns_per_run;
+              current_ns = None;
+              ratio = None;
+            }
+        | Some c ->
+            let ratio = c.Report.ns_per_run /. b.Report.ns_per_run in
+            {
+              name = b.Report.name;
+              status = classify ~threshold_pct ~ratio;
+              baseline_ns = Some b.Report.ns_per_run;
+              current_ns = Some c.Report.ns_per_run;
+              ratio = Some ratio;
+            })
+      baseline.Report.subjects
+  in
+  let added =
+    List.filter_map
+      (fun (c : Report.subject) ->
+        match Report.find baseline c.Report.name with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                name = c.Report.name;
+                status = Added;
+                baseline_ns = None;
+                current_ns = Some c.Report.ns_per_run;
+                ratio = None;
+              })
+      current.Report.subjects
+  in
+  let deltas = matched @ added in
+  let count st = List.length (List.filter (fun d -> d.status = st) deltas) in
+  {
+    threshold_pct;
+    deltas;
+    regressed = count Regressed;
+    improved = count Improved;
+    added = count Added;
+    removed = count Removed;
+  }
+
+let failed v = v.regressed > 0
+
+let ns_cell = function
+  | None -> "-"
+  | Some ns -> Printf.sprintf "%.1f" ns
+
+let ratio_cell = function
+  | None -> "-"
+  | Some r -> Printf.sprintf "%+.1f%%" ((r -. 1.) *. 100.)
+
+let pp ppf v =
+  let table =
+    Stats.Table.create
+      ~header:[ "subject"; "baseline ns"; "current ns"; "delta"; "status" ]
+  in
+  List.iter
+    (fun d ->
+      Stats.Table.add_row table
+        [
+          d.name;
+          ns_cell d.baseline_ns;
+          ns_cell d.current_ns;
+          ratio_cell d.ratio;
+          status_label d.status;
+        ])
+    v.deltas;
+  Format.fprintf ppf "%a" Stats.Table.pp table;
+  Format.fprintf ppf
+    "threshold ±%.0f%%: %d regressed, %d improved, %d added, %d removed — %s@."
+    v.threshold_pct v.regressed v.improved v.added v.removed
+    (if failed v then "FAIL" else "ok")

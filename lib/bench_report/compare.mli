@@ -1,0 +1,40 @@
+(** Regression gate: diff two benchmark reports.
+
+    Subjects are matched by name. A subject whose OLS estimate grew by
+    more than the threshold (default 20%) is a {!Regressed}; shrinking by
+    more than the threshold is an {!Improved}; anything in between is
+    {!Unchanged}. Subjects present on only one side are {!Added} /
+    {!Removed} — reported, but not failures, because the benchmark suite
+    is expected to grow across PRs (refresh the baseline when it does;
+    see EXPERIMENTS.md). The gate fails ({!failed}) iff at least one
+    subject regressed. *)
+
+type status = Improved | Regressed | Unchanged | Added | Removed
+
+type delta = {
+  name : string;
+  status : status;
+  baseline_ns : float option;  (** [None] for {!Added} *)
+  current_ns : float option;  (** [None] for {!Removed} *)
+  ratio : float option;  (** current/baseline; [None] unless both sides exist *)
+}
+
+type verdict = {
+  threshold_pct : float;
+  deltas : delta list;  (** baseline order, then added subjects *)
+  regressed : int;
+  improved : int;
+  added : int;
+  removed : int;
+}
+
+val run :
+  ?threshold_pct:float -> baseline:Report.t -> current:Report.t -> unit -> verdict
+(** [threshold_pct] defaults to [20.]; it must be positive
+    ([Invalid_argument] otherwise). *)
+
+val failed : verdict -> bool
+(** True iff [regressed > 0]. *)
+
+val pp : Format.formatter -> verdict -> unit
+(** Render the comparison as a {!Stats.Table} plus a one-line summary. *)

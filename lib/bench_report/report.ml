@@ -1,0 +1,166 @@
+type subject = {
+  name : string;
+  ns_per_run : float;
+  r_square : float;
+  mean_ns : float;
+  stddev_ns : float;
+  samples : int;
+}
+
+type meta = {
+  git_rev : string;
+  ocaml_version : string;
+  host : string;
+  timestamp : string;
+  quota_s : float;
+  limit : int;
+}
+
+type t = { schema_version : int; meta : meta; subjects : subject list }
+
+let schema_version = 1
+
+(* --- metadata ----------------------------------------------------------- *)
+
+let git_short_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let collect_meta ~quota_s ~limit =
+  {
+    git_rev = git_short_rev ();
+    ocaml_version = Sys.ocaml_version;
+    host = (try Unix.gethostname () with _ -> "unknown");
+    timestamp = iso8601_now ();
+    quota_s;
+    limit;
+  }
+
+let subject_of_samples ~name ~ns_per_run ~r_square ~ns_samples =
+  let acc = Stats.Online.create () in
+  List.iter (Stats.Online.add acc) ns_samples;
+  {
+    name;
+    ns_per_run;
+    r_square;
+    mean_ns = Stats.Online.mean acc;
+    stddev_ns = Stats.Online.stddev acc;
+    samples = Stats.Online.count acc;
+  }
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let subject_to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("ns_per_run", Json.Float s.ns_per_run);
+      ("r_square", Json.Float s.r_square);
+      ("mean_ns", Json.Float s.mean_ns);
+      ("stddev_ns", Json.Float s.stddev_ns);
+      ("samples", Json.Int s.samples);
+    ]
+
+let meta_to_json m =
+  Json.Obj
+    [
+      ("git_rev", Json.String m.git_rev);
+      ("ocaml_version", Json.String m.ocaml_version);
+      ("host", Json.String m.host);
+      ("timestamp", Json.String m.timestamp);
+      ("quota_s", Json.Float m.quota_s);
+      ("limit", Json.Int m.limit);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int t.schema_version);
+      ("meta", meta_to_json t.meta);
+      ("subjects", Json.List (List.map subject_to_json t.subjects));
+    ]
+
+let ( let* ) = Result.bind
+
+let field ~what conv key j =
+  match Option.bind (Json.member key j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or ill-typed field %S" what key)
+
+let subject_of_json j =
+  let what = "subject" in
+  let* name = field ~what Json.to_str "name" j in
+  let* ns_per_run = field ~what Json.to_float "ns_per_run" j in
+  let* r_square = field ~what Json.to_float "r_square" j in
+  let* mean_ns = field ~what Json.to_float "mean_ns" j in
+  let* stddev_ns = field ~what Json.to_float "stddev_ns" j in
+  let* samples = field ~what Json.to_int "samples" j in
+  Ok { name; ns_per_run; r_square; mean_ns; stddev_ns; samples }
+
+let meta_of_json j =
+  let what = "meta" in
+  let* git_rev = field ~what Json.to_str "git_rev" j in
+  let* ocaml_version = field ~what Json.to_str "ocaml_version" j in
+  let* host = field ~what Json.to_str "host" j in
+  let* timestamp = field ~what Json.to_str "timestamp" j in
+  let* quota_s = field ~what Json.to_float "quota_s" j in
+  let* limit = field ~what Json.to_int "limit" j in
+  Ok { git_rev; ocaml_version; host; timestamp; quota_s; limit }
+
+let rec collect_subjects = function
+  | [] -> Ok []
+  | j :: rest ->
+      let* s = subject_of_json j in
+      let* rest = collect_subjects rest in
+      Ok (s :: rest)
+
+let of_json j =
+  let* version = field ~what:"report" Json.to_int "schema_version" j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+         version schema_version)
+  else
+    let* meta =
+      match Json.member "meta" j with
+      | Some m -> meta_of_json m
+      | None -> Error "report: missing field \"meta\""
+    in
+    let* subjects = field ~what:"report" Json.to_list "subjects" j in
+    let* subjects = collect_subjects subjects in
+    Ok { schema_version = version; meta; subjects }
+
+(* --- files -------------------------------------------------------------- *)
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 (to_json t));
+      output_char oc '\n')
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let* j = Json.of_string contents in
+      of_json j
+
+let find t name = List.find_opt (fun s -> s.name = name) t.subjects

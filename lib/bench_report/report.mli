@@ -1,0 +1,54 @@
+(** Machine-readable benchmark results.
+
+    A report is the stable-schema JSON artifact written by
+    [bench/main.exe -- json]: one {!subject} per bechamel test (micro
+    hot-path subjects plus the per-experiment table-regeneration
+    subjects), plus {!meta} describing the run so two files can be
+    compared meaningfully. The schema is versioned; {!of_json} rejects
+    files written by an incompatible future schema. *)
+
+type subject = {
+  name : string;  (** bechamel test name, e.g. ["lams-dlc frame: crc32 of 1 kB"] *)
+  ns_per_run : float;  (** OLS estimate of ns per call *)
+  r_square : float;  (** goodness of fit of the OLS estimate; [nan] if absent *)
+  mean_ns : float;  (** per-sample mean of ns/run *)
+  stddev_ns : float;  (** per-sample stddev of ns/run *)
+  samples : int;  (** number of raw measurements behind the estimate *)
+}
+
+type meta = {
+  git_rev : string;  (** short commit hash, or ["unknown"] outside a checkout *)
+  ocaml_version : string;
+  host : string;
+  timestamp : string;  (** UTC, ISO-8601 *)
+  quota_s : float;  (** bechamel time quota per subject, seconds *)
+  limit : int;  (** bechamel sample cap per subject *)
+}
+
+type t = { schema_version : int; meta : meta; subjects : subject list }
+
+val schema_version : int
+(** Current schema: 1. *)
+
+val collect_meta : quota_s:float -> limit:int -> meta
+(** Snapshot run metadata from the environment ([git rev-parse],
+    [Sys.ocaml_version], hostname, wall clock). Never raises; fields
+    degrade to ["unknown"]. *)
+
+val subject_of_samples :
+  name:string -> ns_per_run:float -> r_square:float -> ns_samples:float list -> subject
+(** Fold per-sample ns/run observations into a {!subject} via
+    {!Stats.Online}. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val write : string -> t -> unit
+(** Write pretty-printed JSON (trailing newline) to the path. *)
+
+val read : string -> (t, string) result
+(** Read and validate a report file. I/O errors are [Error]. *)
+
+val find : t -> string -> subject option
+(** Look up a subject by exact name. *)

@@ -3,6 +3,7 @@ type t = {
   iframe_code : Fec.Code.t;
   cframe_code : Fec.Code.t;
   error_model : Error_model.t;
+  scratch : Frame.Codec.scratch; (* reused encode buffer, one per path *)
 }
 
 type outcome = {
@@ -12,7 +13,13 @@ type outcome = {
 }
 
 let create ~rng ~iframe_code ~cframe_code ~error_model =
-  { rng; iframe_code; cframe_code; error_model }
+  {
+    rng;
+    iframe_code;
+    cframe_code;
+    error_model;
+    scratch = Frame.Codec.create_scratch ();
+  }
 
 let code_for t frame =
   if Frame.Wire.is_control frame then t.cframe_code else t.iframe_code
@@ -23,31 +30,36 @@ let coded_bits t frame =
 
 let transmit t frame =
   let code = code_for t frame in
-  let clean_bytes = Frame.Codec.encode frame in
-  let data_bits = 8 * Bytes.length clean_bytes in
-  let clean_coded = code.Fec.Code.encode (Fec.Bitbuf.of_string (Bytes.to_string clean_bytes)) in
+  let clean_buf, clean_len = Frame.Codec.encode_scratch t.scratch frame in
+  let clean_bytes = Bytes.sub_string clean_buf 0 clean_len in
+  let data_bits = 8 * clean_len in
+  let clean_coded = code.Fec.Code.encode (Fec.Bitbuf.of_string clean_bytes) in
   let n = Fec.Bitbuf.length clean_coded in
   let flips = Error_model.error_positions t.error_model t.rng ~bits:n in
   List.iter
     (fun pos -> Fec.Bitbuf.set clean_coded pos (not (Fec.Bitbuf.get clean_coded pos)))
     flips;
   let decoded_bits = code.Fec.Code.decode clean_coded ~data_bits in
-  let rx_bytes = Bytes.of_string (Fec.Bitbuf.to_string decoded_bits) in
-  let rx_bytes = Bytes.sub rx_bytes 0 (Bytes.length clean_bytes) in
+  (* decode straight from the bit-buffer's backing string: no exact-size
+     copy of the received frame is materialised *)
+  let rx_bytes = Bytes.unsafe_of_string (Fec.Bitbuf.to_string decoded_bits) in
   let residual_errors =
     let d = ref 0 in
-    Bytes.iteri
-      (fun i c ->
-        let a = Char.code c and b = Char.code (Bytes.get clean_bytes i) in
-        let x = a lxor b in
-        for bit = 0 to 7 do
-          if x land (1 lsl bit) <> 0 then incr d
-        done)
-      rx_bytes;
+    for i = 0 to clean_len - 1 do
+      let x =
+        Char.code (Bytes.unsafe_get rx_bytes i)
+        lxor Char.code (String.unsafe_get clean_bytes i)
+      in
+      let x = ref x in
+      while !x <> 0 do
+        incr d;
+        x := !x land (!x - 1)
+      done
+    done;
     !d
   in
   let bit_errors = List.length flips in
-  match Frame.Codec.decode rx_bytes with
+  match Frame.Codec.decode ~pos:0 ~len:clean_len rx_bytes with
   | Ok decoded ->
       ({ status = Link.Rx_ok; bit_errors; residual_errors }, Some decoded)
   | Error (Frame.Codec.Payload_corrupt { seq }) ->

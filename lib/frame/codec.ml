@@ -40,113 +40,149 @@ let get_i32 b pos = Bytes.get_int32_be b pos
 
 let get_f64 b pos = Int64.float_of_bits (Bytes.get_int64_be b pos)
 
-let encode frame =
+(* Write [frame] into [b] starting at [base]; the caller guarantees
+   [Wire.size_bytes frame] bytes of room. Returns the bytes written. *)
+let encode_into frame b ~pos:base =
   let size = Wire.size_bytes frame in
-  let b = Bytes.create size in
+  if base < 0 || base + size > Bytes.length b then
+    invalid_arg "Codec.encode_into: buffer too small";
   (match frame with
   | Wire.Data i ->
       let len = String.length i.Iframe.payload in
-      put_u8 b 0 tag_iframe;
-      put_u32 b 1 i.Iframe.seq;
-      put_u16 b 5 len;
-      put_u16 b 7 (Crc.crc16 b ~pos:0 ~len:7);
-      Bytes.blit_string i.Iframe.payload 0 b 9 len;
-      put_i32 b (9 + len) (Crc.crc32 b ~pos:9 ~len)
+      put_u8 b (base + 0) tag_iframe;
+      put_u32 b (base + 1) i.Iframe.seq;
+      put_u16 b (base + 5) len;
+      put_u16 b (base + 7) (Crc.crc16 b ~pos:base ~len:7);
+      Bytes.blit_string i.Iframe.payload 0 b (base + 9) len;
+      put_i32 b (base + 9 + len) (Crc.crc32 b ~pos:(base + 9) ~len)
   | Wire.Control (Cframe.Checkpoint c) ->
       let n = List.length c.Cframe.naks in
-      put_u8 b 0 tag_checkpoint;
+      put_u8 b (base + 0) tag_checkpoint;
       let flags =
         (if c.Cframe.stop_go then 1 else 0) lor if c.Cframe.enforced then 2 else 0
       in
-      put_u8 b 1 flags;
-      put_u32 b 2 c.Cframe.cp_seq;
-      put_f64 b 6 c.Cframe.issue_time;
-      put_u32 b 14 c.Cframe.next_expected;
-      put_u16 b 18 n;
-      List.iteri (fun i s -> put_u32 b (20 + (4 * i)) s) c.Cframe.naks;
+      put_u8 b (base + 1) flags;
+      put_u32 b (base + 2) c.Cframe.cp_seq;
+      put_f64 b (base + 6) c.Cframe.issue_time;
+      put_u32 b (base + 14) c.Cframe.next_expected;
+      put_u16 b (base + 18) n;
+      List.iteri (fun i s -> put_u32 b (base + 20 + (4 * i)) s) c.Cframe.naks;
       let body = 20 + (4 * n) in
-      put_u16 b body (Crc.crc16 b ~pos:0 ~len:body)
+      put_u16 b (base + body) (Crc.crc16 b ~pos:base ~len:body)
   | Wire.Control (Cframe.Request_nak { issue_time }) ->
-      put_u8 b 0 tag_request_nak;
-      put_f64 b 1 issue_time;
-      put_u16 b 9 (Crc.crc16 b ~pos:0 ~len:9)
+      put_u8 b (base + 0) tag_request_nak;
+      put_f64 b (base + 1) issue_time;
+      put_u16 b (base + 9) (Crc.crc16 b ~pos:base ~len:9)
   | Wire.Hdlc_control h ->
-      put_u8 b 0 tag_hdlc;
+      put_u8 b (base + 0) tag_hdlc;
       let kind =
         match h.Hframe.kind with Hframe.Rr -> 0 | Hframe.Rej -> 1 | Hframe.Srej -> 2
       in
-      put_u8 b 1 kind;
-      put_u32 b 2 h.Hframe.nr;
-      put_u8 b 6 (if h.Hframe.pf then 1 else 0);
-      put_u16 b 7 (Crc.crc16 b ~pos:0 ~len:7));
+      put_u8 b (base + 1) kind;
+      put_u32 b (base + 2) h.Hframe.nr;
+      put_u8 b (base + 6) (if h.Hframe.pf then 1 else 0);
+      put_u16 b (base + 7) (Crc.crc16 b ~pos:base ~len:7));
+  size
+
+let encode frame =
+  let b = Bytes.create (Wire.size_bytes frame) in
+  let _ = encode_into frame b ~pos:0 in
   b
 
-let decode_iframe b =
-  if Bytes.length b < 9 then Error Truncated
+(* Reusable encode buffer: grows monotonically, never shrinks, so a
+   steady-state sender allocates nothing per frame. *)
+type scratch = { mutable buf : Bytes.t }
+
+let create_scratch ?(capacity = 2048) () = { buf = Bytes.create (max 16 capacity) }
+
+let encode_scratch scratch frame =
+  let size = Wire.size_bytes frame in
+  if Bytes.length scratch.buf < size then
+    scratch.buf <- Bytes.create (max size (2 * Bytes.length scratch.buf));
+  let _ = encode_into frame scratch.buf ~pos:0 in
+  (scratch.buf, size)
+
+(* Decoders read from the slice [base, base+len) of [b]; [len] checks are
+   against the slice, not the whole buffer, so a scratch buffer longer
+   than the frame decodes identically to an exact-size one. *)
+
+let decode_iframe b ~base ~len:avail =
+  if avail < 9 then Error Truncated
   else begin
-    let hcrc = get_u16 b 7 in
-    if Crc.crc16 b ~pos:0 ~len:7 <> hcrc then Error Header_corrupt
+    let hcrc = get_u16 b (base + 7) in
+    if Crc.crc16 b ~pos:base ~len:7 <> hcrc then Error Header_corrupt
     else begin
-      let seq = get_u32 b 1 in
-      let len = get_u16 b 5 in
-      if Bytes.length b < 9 + len + 4 then Error Truncated
+      let seq = get_u32 b (base + 1) in
+      let len = get_u16 b (base + 5) in
+      if avail < 9 + len + 4 then Error Truncated
       else begin
-        let pcrc = get_i32 b (9 + len) in
-        if Crc.crc32 b ~pos:9 ~len <> pcrc then Error (Payload_corrupt { seq })
+        let pcrc = get_i32 b (base + 9 + len) in
+        if Crc.crc32 b ~pos:(base + 9) ~len <> pcrc then
+          Error (Payload_corrupt { seq })
         else
-          Ok (Wire.Data (Iframe.create ~seq ~payload:(Bytes.sub_string b 9 len)))
+          Ok
+            (Wire.Data
+               (Iframe.create ~seq ~payload:(Bytes.sub_string b (base + 9) len)))
       end
     end
   end
 
-let decode_checkpoint b =
-  if Bytes.length b < 22 then Error Truncated
+let decode_checkpoint b ~base ~len:avail =
+  if avail < 22 then Error Truncated
   else begin
-    let n = get_u16 b 18 in
+    let n = get_u16 b (base + 18) in
     let body = 20 + (4 * n) in
-    if Bytes.length b < body + 2 then Error Truncated
-    else if Crc.crc16 b ~pos:0 ~len:body <> get_u16 b body then
+    if avail < body + 2 then Error Truncated
+    else if Crc.crc16 b ~pos:base ~len:body <> get_u16 b (base + body) then
       Error Control_corrupt
     else begin
-      let flags = get_u8 b 1 in
-      let naks = List.init n (fun i -> get_u32 b (20 + (4 * i))) in
+      let flags = get_u8 b (base + 1) in
+      let naks = List.init n (fun i -> get_u32 b (base + 20 + (4 * i))) in
       Ok
         (Wire.Control
-           (Cframe.checkpoint ~cp_seq:(get_u32 b 2) ~issue_time:(get_f64 b 6)
+           (Cframe.checkpoint ~cp_seq:(get_u32 b (base + 2))
+              ~issue_time:(get_f64 b (base + 6))
               ~stop_go:(flags land 1 <> 0)
               ~enforced:(flags land 2 <> 0)
-              ~next_expected:(get_u32 b 14) ~naks))
+              ~next_expected:(get_u32 b (base + 14))
+              ~naks))
     end
   end
 
-let decode_request_nak b =
-  if Bytes.length b < 11 then Error Truncated
-  else if Crc.crc16 b ~pos:0 ~len:9 <> get_u16 b 9 then Error Control_corrupt
-  else Ok (Wire.Control (Cframe.request_nak ~issue_time:(get_f64 b 1)))
+let decode_request_nak b ~base ~len:avail =
+  if avail < 11 then Error Truncated
+  else if Crc.crc16 b ~pos:base ~len:9 <> get_u16 b (base + 9) then
+    Error Control_corrupt
+  else Ok (Wire.Control (Cframe.request_nak ~issue_time:(get_f64 b (base + 1))))
 
-let decode_hdlc b =
-  if Bytes.length b < 9 then Error Truncated
-  else if Crc.crc16 b ~pos:0 ~len:7 <> get_u16 b 7 then Error Control_corrupt
+let decode_hdlc b ~base ~len:avail =
+  if avail < 9 then Error Truncated
+  else if Crc.crc16 b ~pos:base ~len:7 <> get_u16 b (base + 7) then
+    Error Control_corrupt
   else begin
-    match get_u8 b 1 with
+    match get_u8 b (base + 1) with
     | (0 | 1 | 2) as k ->
         let kind =
           match k with 0 -> Hframe.Rr | 1 -> Hframe.Rej | _ -> Hframe.Srej
         in
         Ok
           (Wire.Hdlc_control
-             (Hframe.create ~kind ~nr:(get_u32 b 2) ~pf:(get_u8 b 6 <> 0)))
+             (Hframe.create ~kind ~nr:(get_u32 b (base + 2))
+                ~pf:(get_u8 b (base + 6) <> 0)))
     | _ -> Error Control_corrupt
   end
 
-let decode b =
-  if Bytes.length b < 1 then Error Truncated
+let decode ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Codec.decode: slice out of bounds";
+  if len < 1 then Error Truncated
   else begin
-    match get_u8 b 0 with
-    | t when t = tag_iframe -> decode_iframe b
-    | t when t = tag_checkpoint -> decode_checkpoint b
-    | t when t = tag_request_nak -> decode_request_nak b
-    | t when t = tag_hdlc -> decode_hdlc b
+    match get_u8 b pos with
+    | t when t = tag_iframe -> decode_iframe b ~base:pos ~len
+    | t when t = tag_checkpoint -> decode_checkpoint b ~base:pos ~len
+    | t when t = tag_request_nak -> decode_request_nak b ~base:pos ~len
+    | t when t = tag_hdlc -> decode_hdlc b ~base:pos ~len
     | t -> Error (Unknown_tag t)
   end
 

@@ -8,7 +8,12 @@
     decoder reports this as [Payload_corrupt { seq }].
 
     Integers are big-endian. Floats travel as their IEEE-754 bit
-    patterns. *)
+    patterns.
+
+    Per-frame hot paths can avoid the allocation in [encode] by writing
+    into a caller-owned buffer ([encode_into]) or a reusable
+    [scratch] buffer, and by decoding straight from a slice
+    ([decode ~pos ~len]) instead of an exact-size copy. *)
 
 type error =
   | Truncated  (** fewer bytes than the layout requires *)
@@ -21,11 +26,32 @@ type error =
 val error_to_string : error -> string
 
 val encode : Wire.t -> Bytes.t
-(** Exact size [Wire.size_bytes]. *)
+(** Exact size [Wire.size_bytes]; freshly allocated. *)
 
-val decode : Bytes.t -> (Wire.t, error) result
-(** Inverse of [encode] on uncorrupted input; classifies corrupted
-    input as one of the [error] cases. *)
+val encode_into : Wire.t -> Bytes.t -> pos:int -> int
+(** [encode_into frame b ~pos] writes the frame layout at [pos] and
+    returns the number of bytes written ([Wire.size_bytes frame]).
+    Raises [Invalid_argument] when the buffer is too small. *)
+
+type scratch
+(** A reusable encode buffer. It grows to the largest frame seen and
+    never shrinks, so steady-state encoding allocates nothing. Not
+    thread-safe; use one per sender. *)
+
+val create_scratch : ?capacity:int -> unit -> scratch
+(** Default capacity 2048 bytes — enough for a max-payload I-frame. *)
+
+val encode_scratch : scratch -> Wire.t -> Bytes.t * int
+(** [encode_scratch s frame] is [(buf, len)]: the frame occupies
+    [buf[0..len)]. The buffer is owned by [s] and overwritten by the next
+    call; decode or copy it before re-using [s]. *)
+
+val decode : ?pos:int -> ?len:int -> Bytes.t -> (Wire.t, error) result
+(** Inverse of [encode] on uncorrupted input; classifies corrupted input
+    as one of the [error] cases. [?pos]/[?len] (default: the whole
+    buffer) select the slice holding the frame, so a frame inside a
+    larger buffer decodes without an intermediate copy. Raises
+    [Invalid_argument] when the slice is out of bounds. *)
 
 val flip_bit : Bytes.t -> int -> unit
 (** [flip_bit b i] flips the [i]-th bit (0-based, MSB-first within each

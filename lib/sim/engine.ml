@@ -1,4 +1,4 @@
-type event_id = Event_queue.id
+type event_id = (unit -> unit) Event_queue.id
 
 type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
 

@@ -1,121 +1,123 @@
-(* Binary min-heap over (time, seq). Cancellation is recorded in a hash
-   table and resolved lazily at pop time, so cancel is O(1) and pop stays
-   O(log n) amortised. A separate [pending] set makes cancelling an
-   already-fired or already-cancelled id a safe no-op. *)
+(* Implicit 4-ary min-heap over (time, seq). An event's id IS its heap
+   entry: cancellation flips a state bit in the entry (O(1), no lookup),
+   and pop skips cancelled entries when they surface at the root. This
+   replaces an earlier design that kept two hash tables (pending +
+   cancelled) beside a binary heap — the per-event hashing dominated the
+   scheduling hot path. The 4-ary layout halves the sift depth and keeps
+   sibling entries adjacent in memory. *)
 
-type id = int
+type state = Pending | Cancelled | Fired
 
-type 'a entry = { time : float; seq : int; id : id; payload : 'a }
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+  mutable state : state;
+}
+
+type 'a id = 'a entry
 
 type 'a t = {
   mutable heap : 'a entry array;
-  mutable size : int;
+  mutable size : int; (* entries in [heap], live or cancelled *)
+  mutable live : int; (* entries in [heap] with state = Pending *)
   mutable next_seq : int;
-  mutable next_id : id;
-  cancelled : (id, unit) Hashtbl.t;
-  pending : (id, unit) Hashtbl.t;
 }
 
-let dummy_of payload = { time = 0.; seq = 0; id = -1; payload }
+let create () = { heap = [||]; size = 0; live = 0; next_seq = 0 }
 
-let create () =
-  {
-    heap = [||];
-    size = 0;
-    next_seq = 0;
-    next_id = 0;
-    cancelled = Hashtbl.create 64;
-    pending = Hashtbl.create 64;
-  }
+let length t = t.live
 
-let length t = Hashtbl.length t.pending
-
-let is_empty t = length t = 0
+let is_empty t = t.live = 0
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+(* Hole-based sift: move the hole, write the entry once at its slot. *)
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+let sift_up t i entry =
+  let heap = t.heap in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let p = Array.unsafe_get heap parent in
+    if before entry p then begin
+      Array.unsafe_set heap !i p;
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  Array.unsafe_set heap !i entry
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let sift_down t i entry =
+  let heap = t.heap and size = t.size in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let first_child = (4 * !i) + 1 in
+    if first_child >= size then continue := false
+    else begin
+      let last_child = min (first_child + 3) (size - 1) in
+      let best = ref first_child in
+      for c = first_child + 1 to last_child do
+        if before (Array.unsafe_get heap c) (Array.unsafe_get heap !best) then
+          best := c
+      done;
+      let b = Array.unsafe_get heap !best in
+      if before b entry then begin
+        Array.unsafe_set heap !i b;
+        i := !best
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set heap !i entry
 
 let grow t entry =
   let cap = Array.length t.heap in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let nheap = Array.make ncap (dummy_of entry.payload) in
+    let nheap = Array.make ncap entry in
     Array.blit t.heap 0 nheap 0 t.size;
     t.heap <- nheap
   end
 
 let add t ~time payload =
-  let entry = { time; seq = t.next_seq; id = t.next_id; payload } in
+  let entry = { time; seq = t.next_seq; payload; state = Pending } in
   t.next_seq <- t.next_seq + 1;
-  t.next_id <- t.next_id + 1;
   grow t entry;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1);
-  Hashtbl.replace t.pending entry.id ();
-  entry.id
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1) entry;
+  entry
 
-let cancel t id =
-  if Hashtbl.mem t.pending id then begin
-    Hashtbl.remove t.pending id;
-    Hashtbl.replace t.cancelled id ();
-    true
-  end
-  else false
+let cancel t entry =
+  match entry.state with
+  | Pending ->
+      entry.state <- Cancelled;
+      t.live <- t.live - 1;
+      true
+  | Cancelled | Fired -> false
 
-(* Remove the heap root, skipping cancelled entries. *)
+(* Remove the heap root (refilling the hole with the last entry),
+   skipping cancelled roots. *)
 let rec pop_live t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
-    if Hashtbl.mem t.cancelled top.id then begin
-      Hashtbl.remove t.cancelled top.id;
-      pop_live t
-    end
-    else Some top
+    if t.size > 0 then sift_down t 0 t.heap.(t.size);
+    match top.state with
+    | Cancelled -> pop_live t
+    | Pending | Fired -> Some top
   end
 
 let rec drop_cancelled_head t =
-  if t.size = 0 then ()
-  else
-    let top = t.heap.(0) in
-    if Hashtbl.mem t.cancelled top.id then begin
-      Hashtbl.remove t.cancelled top.id;
-      t.size <- t.size - 1;
-      if t.size > 0 then begin
-        t.heap.(0) <- t.heap.(t.size);
-        sift_down t 0
-      end;
-      drop_cancelled_head t
-    end
+  if t.size > 0 && t.heap.(0).state = Cancelled then begin
+    t.size <- t.size - 1;
+    if t.size > 0 then sift_down t 0 t.heap.(t.size);
+    drop_cancelled_head t
+  end
 
 let peek_time t =
   drop_cancelled_head t;
@@ -125,5 +127,6 @@ let pop t =
   match pop_live t with
   | None -> None
   | Some e ->
-      Hashtbl.remove t.pending e.id;
+      e.state <- Fired;
+      t.live <- t.live - 1;
       Some (e.time, e.payload)

@@ -1,14 +1,15 @@
 (** Priority queue of timestamped events.
 
-    A binary min-heap keyed by [(time, tie-break sequence)]. Events with
-    equal timestamps pop in insertion order, which keeps simulations
-    deterministic. Supports O(log n) insertion and removal of the minimum,
-    and lazy cancellation by id. *)
+    An implicit 4-ary min-heap keyed by [(time, tie-break sequence)].
+    Events with equal timestamps pop in insertion order, which keeps
+    simulations deterministic. Supports O(log n) insertion and removal of
+    the minimum, and O(1) cancellation: the handle returned by {!add} is
+    the heap entry itself, so cancelling needs no auxiliary index. *)
 
 type 'a t
 (** Queue holding payloads of type ['a]. *)
 
-type id
+type 'a id
 (** Handle naming a scheduled event, usable for cancellation. *)
 
 val create : unit -> 'a t
@@ -18,10 +19,10 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 (** Number of live (non-cancelled) events. *)
 
-val add : 'a t -> time:float -> 'a -> id
+val add : 'a t -> time:float -> 'a -> 'a id
 (** [add q ~time v] schedules [v] at [time] and returns its handle. *)
 
-val cancel : 'a t -> id -> bool
+val cancel : 'a t -> 'a id -> bool
 (** [cancel q id] removes the event if it is still pending. Returns
     [false] when the event already fired or was already cancelled.
     Cancellation is lazy: the slot is skipped when popped. *)

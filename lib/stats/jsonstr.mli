@@ -1,0 +1,12 @@
+(** JSON text fragments for the stats emitters.
+
+    [stats] sits below the JSON-value library in [bench_report], so
+    {!Table.to_json_string} and {!Online.to_json_string} print JSON text
+    directly; these are the two shared pieces. *)
+
+val escape : string -> string
+(** The string as a quoted JSON string literal. *)
+
+val float_repr : float -> string
+(** Shortest decimal that round-trips the float; non-finite values render
+    as [null] (JSON has no representation for them). *)

@@ -61,3 +61,13 @@ let pp ppf t =
   else
     Format.fprintf ppf "n=%d mean=%.6g±%.2g min=%.6g max=%.6g" t.n t.mean
       (ci95_halfwidth t) t.min t.max
+
+let to_json_string t =
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%s,\"stddev\":%s,\"min\":%s,\"max\":%s,\"sum\":%s}"
+    t.n
+    (Jsonstr.float_repr (mean t))
+    (Jsonstr.float_repr (stddev t))
+    (Jsonstr.float_repr t.min)
+    (Jsonstr.float_repr t.max)
+    (Jsonstr.float_repr t.sum)

@@ -38,3 +38,8 @@ val ci95_halfwidth : t -> float
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable one-line rendering: count, mean ± ci, min, max. *)
+
+val to_json_string : t -> string
+(** The accumulator as a JSON object with [count], [mean], [stddev],
+    [min], [max] and [sum] fields; non-finite values (empty accumulator)
+    render as [null]. *)

@@ -19,3 +19,7 @@ val add_float_row : t -> string -> float list -> unit
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val to_json_string : t -> string
+(** The table as a JSON object [{"header": [...], "rows": [[...], ...]}],
+    for machine-readable experiment output. *)

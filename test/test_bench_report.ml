@@ -1,0 +1,269 @@
+(* Benchmark-report pipeline tests: JSON codec round-trips, report
+   serialisation, and the perf-regression gate (threshold logic plus the
+   subject-appears / subject-disappears cases). *)
+
+module Json = Bench_report.Json
+module Report = Bench_report.Report
+module Compare = Bench_report.Compare
+
+(* --- JSON codec --------------------------------------------------------- *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("int", Json.Int (-42));
+      ("float", Json.Float 3.141592653589793);
+      ("text", Json.String "line\nbreak \"quoted\" back\\slash\ttab");
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ( "nested",
+        Json.List
+          [ Json.Int 1; Json.List [ Json.Bool false ]; Json.Obj [ ("k", Json.Null) ] ]
+      );
+    ]
+
+let test_json_roundtrip () =
+  let compact = Json.to_string sample_json in
+  let pretty = Json.to_string ~indent:2 sample_json in
+  (match Json.of_string compact with
+  | Ok v -> Alcotest.(check bool) "compact round-trip" true (v = sample_json)
+  | Error e -> Alcotest.fail e);
+  match Json.of_string pretty with
+  | Ok v -> Alcotest.(check bool) "pretty round-trip" true (v = sample_json)
+  | Error e -> Alcotest.fail e
+
+let test_json_float_fidelity () =
+  let values = [ 0.; 1.5; -2.25; 1e-9; 6.02e23; 127720.30301951288 ] in
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok v ->
+          Alcotest.(check (float 0.)) (Printf.sprintf "%h survives" f) f
+            (Option.get (Json.to_float v))
+      | Error e -> Alcotest.fail e)
+    values;
+  (* JSON has no non-finite numbers: they print as null and read as nan *)
+  match Json.of_string (Json.to_string (Json.Float nan)) with
+  | Ok v -> Alcotest.(check bool) "nan -> null -> nan" true
+              (Float.is_nan (Option.get (Json.to_float v)))
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_unicode_escape () =
+  match Json.of_string {|"aé😀b"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "utf-8" "a\xc3\xa9\xf0\x9f\x98\x80b" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e
+
+(* --- report round-trip --------------------------------------------------- *)
+
+let subject name ns =
+  {
+    Report.name;
+    ns_per_run = ns;
+    r_square = 0.99;
+    mean_ns = ns *. 1.01;
+    stddev_ns = ns /. 20.;
+    samples = 40;
+  }
+
+let meta =
+  {
+    Report.git_rev = "deadbee";
+    ocaml_version = "5.1.1";
+    host = "testhost";
+    timestamp = "2026-08-06T00:00:00Z";
+    quota_s = 0.25;
+    limit = 200;
+  }
+
+let report subjects =
+  { Report.schema_version = Report.schema_version; meta; subjects }
+
+let test_report_roundtrip () =
+  let r = report [ subject "a" 100.; subject "b" 2000.5 ] in
+  let text = Json.to_string ~indent:2 (Report.to_json r) in
+  match Json.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Report.of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok r' -> Alcotest.(check bool) "round-trip" true (r = r'))
+
+let test_report_file_roundtrip () =
+  let path = Filename.temp_file "bench_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r = report [ subject "x" 42. ] in
+      Report.write path r;
+      match Report.read path with
+      | Error e -> Alcotest.fail e
+      | Ok r' -> Alcotest.(check bool) "file round-trip" true (r = r'))
+
+let test_report_rejects_future_schema () =
+  let j =
+    Json.Obj
+      [
+        ("schema_version", Json.Int (Report.schema_version + 1));
+        ("meta", Report.to_json (report []) |> Json.member "meta" |> Option.get);
+        ("subjects", Json.List []);
+      ]
+  in
+  match Report.of_json j with
+  | Ok _ -> Alcotest.fail "accepted a future schema_version"
+  | Error _ -> ()
+
+let test_report_rejects_missing_field () =
+  match Json.of_string "{\"schema_version\":1,\"subjects\":[]}" with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Report.of_json j with
+      | Ok _ -> Alcotest.fail "accepted a report without meta"
+      | Error _ -> ())
+
+let test_subject_of_samples () =
+  let s =
+    Report.subject_of_samples ~name:"s" ~ns_per_run:10. ~r_square:1.
+      ~ns_samples:[ 8.; 10.; 12. ]
+  in
+  Alcotest.(check int) "samples" 3 s.Report.samples;
+  Alcotest.(check (float 1e-9)) "mean" 10. s.Report.mean_ns;
+  Alcotest.(check (float 1e-9)) "stddev" 2. s.Report.stddev_ns
+
+(* --- regression gate ----------------------------------------------------- *)
+
+let statuses verdict =
+  List.map
+    (fun d -> (d.Compare.name, d.Compare.status))
+    verdict.Compare.deltas
+
+let test_compare_identical () =
+  let r = report [ subject "a" 100.; subject "b" 200. ] in
+  let v = Compare.run ~baseline:r ~current:r () in
+  Alcotest.(check bool) "not failed" false (Compare.failed v);
+  Alcotest.(check int) "no regressions" 0 v.Compare.regressed;
+  List.iter
+    (fun (_, st) -> Alcotest.(check bool) "unchanged" true (st = Compare.Unchanged))
+    (statuses v)
+
+let test_compare_detects_2x_slowdown () =
+  let baseline = report [ subject "a" 100.; subject "b" 200. ] in
+  let current = report [ subject "a" 200.; subject "b" 200. ] in
+  let v = Compare.run ~baseline ~current () in
+  Alcotest.(check bool) "failed" true (Compare.failed v);
+  Alcotest.(check int) "one regression" 1 v.Compare.regressed;
+  Alcotest.(check bool) "a regressed" true
+    (List.assoc "a" (statuses v) = Compare.Regressed)
+
+let test_compare_threshold_boundaries () =
+  let base = report [ subject "a" 100. ] in
+  let at pct ns =
+    let v = Compare.run ~threshold_pct:pct ~baseline:base
+              ~current:(report [ subject "a" ns ]) () in
+    List.assoc "a" (statuses v)
+  in
+  (* default band is (1/1.2, 1.2): 19% slower is inside, 21% outside *)
+  Alcotest.(check bool) "+19% unchanged" true (at 20. 119. = Compare.Unchanged);
+  Alcotest.(check bool) "+21% regressed" true (at 20. 121. = Compare.Regressed);
+  Alcotest.(check bool) "-21% improved" true (at 20. 79. = Compare.Improved);
+  (* loose CI threshold tolerates shared-runner noise *)
+  Alcotest.(check bool) "+40% ok at 50%" true (at 50. 140. = Compare.Unchanged);
+  Alcotest.(check bool) "+60% regressed at 50%" true (at 50. 160. = Compare.Regressed)
+
+let test_compare_added_removed () =
+  let baseline = report [ subject "old" 100.; subject "both" 50. ] in
+  let current = report [ subject "both" 50.; subject "new" 10. ] in
+  let v = Compare.run ~baseline ~current () in
+  Alcotest.(check int) "added" 1 v.Compare.added;
+  Alcotest.(check int) "removed" 1 v.Compare.removed;
+  Alcotest.(check bool) "appearing/disappearing subjects do not fail the gate"
+    false (Compare.failed v);
+  Alcotest.(check bool) "old removed" true
+    (List.assoc "old" (statuses v) = Compare.Removed);
+  Alcotest.(check bool) "new added" true
+    (List.assoc "new" (statuses v) = Compare.Added)
+
+let test_compare_rejects_bad_threshold () =
+  let r = report [] in
+  Alcotest.check_raises "non-positive threshold"
+    (Invalid_argument "Compare.run: threshold_pct must be positive") (fun () ->
+      ignore (Compare.run ~threshold_pct:0. ~baseline:r ~current:r ()))
+
+(* --- stats JSON emitters ------------------------------------------------- *)
+
+let test_online_to_json () =
+  let acc = Stats.Online.create () in
+  List.iter (Stats.Online.add acc) [ 1.; 2.; 3. ];
+  match Json.of_string (Stats.Online.to_json_string acc) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      Alcotest.(check (option int)) "count" (Some 3)
+        (Option.bind (Json.member "count" j) Json.to_int);
+      Alcotest.(check (float 1e-9)) "mean" 2.
+        (Option.get (Option.bind (Json.member "mean" j) Json.to_float));
+      Alcotest.(check (float 1e-9)) "sum" 6.
+        (Option.get (Option.bind (Json.member "sum" j) Json.to_float))
+
+let test_online_empty_to_json () =
+  (* empty accumulator: mean is nan, min/max infinite -> all null in JSON *)
+  match Json.of_string (Stats.Online.to_json_string (Stats.Online.create ())) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      Alcotest.(check bool) "mean null" true (Json.member "mean" j = Some Json.Null);
+      Alcotest.(check bool) "min null" true (Json.member "min" j = Some Json.Null)
+
+let test_table_to_json () =
+  let t = Stats.Table.create ~header:[ "n"; "value" ] in
+  Stats.Table.add_row t [ "1"; "a \"quoted\" cell" ];
+  Stats.Table.add_float_row t "2" [ 0.5 ];
+  match Json.of_string (Stats.Table.to_json_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      let strings l = List.map (fun c -> Option.get (Json.to_str c)) l in
+      Alcotest.(check (list string)) "header" [ "n"; "value" ]
+        (strings (Option.get (Option.bind (Json.member "header" j) Json.to_list)));
+      let rows = Option.get (Option.bind (Json.member "rows" j) Json.to_list) in
+      Alcotest.(check int) "two rows" 2 (List.length rows);
+      Alcotest.(check (list string)) "row with escapes"
+        [ "1"; "a \"quoted\" cell" ]
+        (strings (Option.get (Json.to_list (List.nth rows 0))))
+
+let suite =
+  [
+    Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: float fidelity" `Quick test_json_float_fidelity;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json: unicode escapes" `Quick test_json_unicode_escape;
+    Alcotest.test_case "report: round-trip" `Quick test_report_roundtrip;
+    Alcotest.test_case "report: file round-trip" `Quick test_report_file_roundtrip;
+    Alcotest.test_case "report: rejects future schema" `Quick
+      test_report_rejects_future_schema;
+    Alcotest.test_case "report: rejects missing field" `Quick
+      test_report_rejects_missing_field;
+    Alcotest.test_case "report: subject_of_samples" `Quick test_subject_of_samples;
+    Alcotest.test_case "compare: identical inputs pass" `Quick
+      test_compare_identical;
+    Alcotest.test_case "compare: 2x slowdown fails" `Quick
+      test_compare_detects_2x_slowdown;
+    Alcotest.test_case "compare: threshold boundaries" `Quick
+      test_compare_threshold_boundaries;
+    Alcotest.test_case "compare: added/removed subjects" `Quick
+      test_compare_added_removed;
+    Alcotest.test_case "compare: rejects bad threshold" `Quick
+      test_compare_rejects_bad_threshold;
+    Alcotest.test_case "stats: Online.to_json_string" `Quick test_online_to_json;
+    Alcotest.test_case "stats: empty Online emits nulls" `Quick
+      test_online_empty_to_json;
+    Alcotest.test_case "stats: Table.to_json_string" `Quick test_table_to_json;
+  ]

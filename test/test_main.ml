@@ -27,4 +27,5 @@ let () =
       ("netstack", Test_netstack.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
+      ("bench-report", Test_bench_report.suite);
     ]
