@@ -2,8 +2,9 @@
 
    Usage:
      lams_dlc_cli list
-     lams_dlc_cli run [e1 e5 ...] [--quick]
-     lams_dlc_cli run --all [--quick]           *)
+     lams_dlc_cli run [e1 e5 ...] [--quick] [--jobs N]
+     lams_dlc_cli run --all [--quick]
+     lams_dlc_cli experiments run [e1 e5 ...] --replicates R --jobs N --json *)
 
 open Cmdliner
 
@@ -31,7 +32,15 @@ let run_cmd =
     let doc = "Run every experiment (same as passing no ids)." in
     Arg.(value & flag & info [ "all" ] ~doc)
   in
-  let run ids quick all =
+  let jobs =
+    let doc =
+      "Render experiment reports concurrently across $(docv) workers \
+       (output text is identical for any value; needs OCaml >= 5 to \
+       actually parallelise). Default: one per core."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run ids quick all jobs =
     let selected =
       if all || ids = [] then Experiments.All.all
       else
@@ -44,11 +53,139 @@ let run_cmd =
                 exit 2)
           ids
     in
-    List.iter
-      (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
-      selected
+    if all || ids = [] then
+      Experiments.All.run_all ~quick ?jobs Format.std_formatter
+    else
+      List.iter
+        (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
+        selected
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ quick $ all)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ quick $ all $ jobs)
+
+(* --- experiments: the replicated matrix runner ------------------------- *)
+
+let select_experiments ids all =
+  if all || ids = [] then Experiments.All.all
+  else
+    List.map
+      (fun id ->
+        match Experiments.All.find id with
+        | Some e -> e
+        | None ->
+            Format.eprintf "unknown experiment %S (try 'experiments list')@." id;
+            exit 2)
+      ids
+
+let experiments_list_cmd =
+  let doc = "List experiments with their matrix point counts." in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Count the reduced quick-mode points.")
+  in
+  let run quick =
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %3d points  %s@." e.Experiments.All.id
+          (List.length (e.Experiments.All.points ~quick))
+          e.Experiments.All.name)
+      Experiments.All.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ quick)
+
+let experiments_run_cmd =
+  let doc =
+    "Run the replicated experiment matrix: every parameter point of the \
+     selected experiments, $(b,--replicates) times each with an \
+     independent derived seed, in parallel across $(b,--jobs) workers. \
+     Results (mean / stddev / 95% CI per metric) are identical for any \
+     job count."
+  in
+  let ids =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"ID" ~doc:"Experiment ids (e1 .. e20). Default: all.")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Run every experiment (same as passing no ids).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps for a smoke run.")
+  in
+  let jobs =
+    let doc =
+      "Worker count. Needs OCaml >= 5 to parallelise; on 4.14 the matrix \
+       runs sequentially whatever the value. Default: one per core."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let replicates =
+    Arg.(value & opt int 1
+         & info [ "r"; "replicates" ] ~docv:"R"
+             ~doc:"Independent replicates per parameter point.")
+  in
+  let root_seed =
+    Arg.(value & opt int 1
+         & info [ "root-seed" ] ~docv:"SEED"
+             ~doc:"Root seed every task seed derives from.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the matrix report as JSON on stdout.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the JSON to $(docv).")
+  in
+  let no_meta =
+    Arg.(value & flag
+         & info [ "no-meta" ]
+             ~doc:"Omit run metadata (host, timestamp, jobs) from the JSON so \
+                   two runs diff byte-for-byte.")
+  in
+  let run ids all quick jobs replicates root_seed json out no_meta =
+    if replicates < 1 then begin
+      Format.eprintf "--replicates must be >= 1@.";
+      exit 2
+    end;
+    let selected = select_experiments ids all in
+    let experiments = Experiments.All.matrix ~quick selected in
+    let jobs =
+      max 1
+        (match jobs with
+        | Some j -> j
+        | None -> Runner.Pool.default_jobs ())
+    in
+    let report =
+      Runner.run ~jobs ~root_seed ~replicates experiments
+    in
+    let report =
+      if no_meta then report
+      else
+        {
+          report with
+          Bench_report.Matrix_report.meta =
+            Some (Bench_report.Matrix_report.collect_meta ~jobs);
+        }
+    in
+    (match out with
+    | Some path ->
+        Bench_report.Matrix_report.write ~with_meta:(not no_meta) path report
+    | None -> ());
+    if json then
+      print_endline
+        (Bench_report.Json.to_string ~indent:2
+           (Bench_report.Matrix_report.to_json ~with_meta:(not no_meta) report))
+    else Experiments.Report.matrix Format.std_formatter report
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ ids $ all $ quick $ jobs $ replicates $ root_seed $ json
+      $ out $ no_meta)
+
+let experiments_cmd =
+  let doc = "Replicated experiment-matrix runner (deterministic seeds)." in
+  Cmd.group (Cmd.info "experiments" ~doc)
+    [ experiments_list_cmd; experiments_run_cmd ]
 
 (* Machine-readable metrics for ad-hoc runs, mirroring [Dlc.Metrics.pp].
    Built on the [Stats] JSON emitters so the shape of the [Online]
@@ -244,4 +381,4 @@ let sim_cmd =
 let () =
   let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in
   let info = Cmd.info "lams_dlc_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sim_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sim_cmd; experiments_cmd ]))

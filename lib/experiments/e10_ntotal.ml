@@ -1,5 +1,16 @@
 let name = "E10 transmission inflation N_total(N)"
 
+let points ~quick =
+  let ns = if quick then [ 200; 1000 ] else [ 200; 500; 1000; 2000; 5000 ] in
+  List.map
+    (fun n ->
+      let cfg = { Scenario.default with Scenario.n_frames = n; ber = 3e-5 } in
+      Scenario.matrix_point
+        ~label:(Printf.sprintf "n=%d" n)
+        cfg
+        (Scenario.Lams (Scenario.default_lams_params cfg)))
+    ns
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E10" ~title:"transmission inflation N_total(N)";
   let ns = if quick then [ 200; 1000 ] else [ 200; 500; 1000; 2000; 5000 ] in

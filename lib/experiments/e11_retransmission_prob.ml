@@ -7,6 +7,36 @@ let sim_p_r (r : Scenario.result) =
   if total = 0 then nan
   else float_of_int m.Dlc.Metrics.retransmissions /. float_of_int total
 
+let points ~quick =
+  let n = if quick then 500 else 3000 in
+  List.concat_map
+    (fun ber ->
+      let base = { Scenario.default with Scenario.ber; n_frames = n } in
+      let p_f =
+        Analysis.Common.p_any_error ~ber ~bits:(Scenario.iframe_bits base)
+      in
+      let hdlc_cfg =
+        {
+          base with
+          Scenario.cframe_ber =
+            Channel.Error_model.ber_for_frame_error_prob
+              ~bits:(Scenario.cframe_bits ~protocol_kind:`Hdlc)
+              ~fer:p_f;
+        }
+      in
+      let lams_cfg = { base with Scenario.cframe_ber = 1e-9 } in
+      [
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/lams" ber)
+          lams_cfg
+          (Scenario.Lams (Scenario.default_lams_params lams_cfg));
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/hdlc" ber)
+          hdlc_cfg
+          (Scenario.Hdlc (Scenario.default_hdlc_params hdlc_cfg));
+      ])
+    (if quick then [ 1e-5 ] else [ 3e-6; 1e-5; 3e-5; 1e-4 ])
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E11"
     ~title:"retransmission probability: NAK-only vs pos-ack (P_C = P_F)";

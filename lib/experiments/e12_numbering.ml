@@ -1,5 +1,17 @@
 let name = "E12 numbering size bound"
 
+let points ~quick =
+  let n = if quick then 1000 else 5000 in
+  List.map
+    (fun w_mult ->
+      let cfg = { Scenario.default with Scenario.n_frames = n; ber = 3e-5 } in
+      let w_cp = float_of_int w_mult *. Scenario.t_f cfg in
+      Scenario.matrix_point
+        ~label:(Printf.sprintf "w_cp=%dtf" w_mult)
+        cfg
+        (Scenario.Lams { Lams_dlc.Params.default with Lams_dlc.Params.w_cp }))
+    (if quick then [ 64 ] else [ 16; 64; 256; 1024 ])
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E12" ~title:"numbering size bound (resolving period)";
   let n = if quick then 1000 else 5000 in

@@ -1,5 +1,34 @@
 let name = "E13 ARQ family: GBN / GBN+ST / SR / SR+ST / LAMS"
 
+let points ~quick =
+  let n = if quick then 500 else 2000 in
+  let bers = if quick then [ 1e-5 ] else [ 1e-6; 1e-5; 3e-5; 1e-4 ] in
+  List.concat_map
+    (fun ber ->
+      let cfg = { Scenario.default with Scenario.ber; n_frames = n } in
+      let hdlc_base = Scenario.default_hdlc_params cfg in
+      List.map
+        (fun (tag, protocol) ->
+          Scenario.matrix_point
+            ~label:(Printf.sprintf "ber=%g/%s" ber tag)
+            cfg protocol)
+        [
+          ( "gbn",
+            Scenario.Hdlc
+              { hdlc_base with Hdlc.Params.mode = Hdlc.Params.Go_back_n } );
+          ( "gbn+st",
+            Scenario.Hdlc
+              {
+                hdlc_base with
+                Hdlc.Params.mode = Hdlc.Params.Go_back_n;
+                stutter = true;
+              } );
+          ("sr", Scenario.Hdlc hdlc_base);
+          ("sr+st", Scenario.Hdlc { hdlc_base with Hdlc.Params.stutter = true });
+          ("lams", Scenario.Lams (Scenario.default_lams_params cfg));
+        ])
+    bers
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E13"
     ~title:"ARQ family comparison (efficiency and retransmissions)";

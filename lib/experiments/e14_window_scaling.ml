@@ -1,5 +1,26 @@
 let name = "E14 HDLC window scaling towards BDP"
 
+let points ~quick =
+  let n = if quick then 1000 else 4000 in
+  let cfg = { Scenario.default with Scenario.n_frames = n } in
+  let windows =
+    if quick then [ (63, 7); (2047, 12) ]
+    else [ (63, 7); (255, 9); (1023, 11); (2047, 12); (4095, 13) ]
+  in
+  List.map
+    (fun (window, seq_bits) ->
+      let params =
+        { (Scenario.default_hdlc_params cfg) with Hdlc.Params.window; seq_bits }
+      in
+      Scenario.matrix_point
+        ~label:(Printf.sprintf "w=%d/hdlc" window)
+        cfg (Scenario.Hdlc params))
+    windows
+  @ [
+      Scenario.matrix_point ~label:"lams" cfg
+        (Scenario.Lams (Scenario.default_lams_params cfg));
+    ]
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E14" ~title:"HDLC window scaling towards the BDP";
   let n = if quick then 1000 else 4000 in

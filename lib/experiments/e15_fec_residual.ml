@@ -26,6 +26,38 @@ let measure ~seed ~trials ~error_model code =
   ( Channel.Coded_path.residual_fer path test_frame ~trials,
     Channel.Coded_path.coded_bits path test_frame )
 
+let points ~quick =
+  let trials = if quick then 60 else 400 in
+  (* error models are stateful (Gilbert-Elliott chain), so each replicate
+     builds its own from a constructor *)
+  let models =
+    [
+      ("uniform=1e-4", fun () -> Channel.Error_model.uniform ~ber:1e-4 ());
+      ("uniform=1e-3", fun () -> Channel.Error_model.uniform ~ber:1e-3 ());
+      ( "burst=24b",
+        fun () ->
+          Channel.Error_model.gilbert_elliott ~ber_good:1e-5 ~ber_bad:0.5
+            ~mean_burst_bits:24. ~mean_gap_bits:4000. () );
+    ]
+  in
+  let code_labels = List.map fst (codes ()) in
+  List.concat_map
+    (fun (mlabel, mk_model) ->
+      List.map
+        (fun clabel ->
+          {
+            Runner.label = Printf.sprintf "%s/%s" clabel mlabel;
+            run =
+              (fun ~seed ->
+                let code = List.assoc clabel (codes ()) in
+                let fer, bits =
+                  measure ~seed ~trials ~error_model:(mk_model ()) code
+                in
+                [ ("residual_fer", fer); ("coded_bits", float_of_int bits) ]);
+          })
+        code_labels)
+    models
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E15" ~title:"FEC residual frame error rates";
   let trials = if quick then 60 else 400 in

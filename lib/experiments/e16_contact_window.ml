@@ -19,9 +19,9 @@ let pair () =
    rate-independent. *)
 let data_rate = 3e6
 
-let run_window ~o1 ~o2 ~window ~protocol =
+let run_window ~seed ~o1 ~o2 ~window ~protocol =
   let engine = Sim.Engine.create () in
-  let rng = Sim.Rng.create ~seed:5 in
+  let rng = Sim.Rng.create ~seed in
   let t_start = window.Orbit.Contact.t_start in
   let duration = Orbit.Contact.duration window in
   let distance_m at = Orbit.Geometry.distance_m o1 o2 ~at:(at +. t_start) in
@@ -63,6 +63,57 @@ let run_window ~o1 ~o2 ~window ~protocol =
   dlc.Dlc.Session.stop ();
   Sim.Engine.run engine ~max_events:1_000_000;
   Dlc.Metrics.unique_delivered dlc.Dlc.Session.metrics
+
+let points ~quick =
+  let o1, o2 = pair () in
+  let horizon = 4. *. Orbit.Circular_orbit.period o1 in
+  let windows = Orbit.Contact.windows o1 o2 ~from_t:0. ~until_t:horizon in
+  let window =
+    match
+      List.find_opt (fun w -> Orbit.Contact.duration w >= 120.) windows
+    with
+    | Some w -> w
+    | None -> (
+        match windows with
+        | w :: _ -> w
+        | [] -> failwith "no contact window found")
+  in
+  (* shorter lifetime slices than the report run: the matrix multiplies
+     every point by the replicate count *)
+  let lifetime_budget = if quick then 30. else 120. in
+  let window =
+    {
+      window with
+      Orbit.Contact.t_end =
+        Float.min window.Orbit.Contact.t_end
+          (window.Orbit.Contact.t_start +. lifetime_budget);
+    }
+  in
+  let t_f = 8296. /. data_rate in
+  let overheads = if quick then [ 0.; 15. ] else [ 0.; 15.; 30.; 60. ] in
+  List.concat_map
+    (fun overhead ->
+      match Orbit.Contact.usable window ~retarget_overhead:overhead with
+      | None -> []
+      | Some usable ->
+          let usable_s = Orbit.Contact.duration usable in
+          List.map
+            (fun (tag, protocol) ->
+              {
+                Runner.label = Printf.sprintf "retarget=%g/%s" overhead tag;
+                run =
+                  (fun ~seed ->
+                    let delivered =
+                      run_window ~seed ~o1 ~o2 ~window:usable ~protocol
+                    in
+                    [
+                      ("delivered", float_of_int delivered);
+                      ("usable_s", usable_s);
+                      ("efficiency", float_of_int delivered *. t_f /. usable_s);
+                    ]);
+              })
+            [ ("lams", `Lams); ("hdlc", `Hdlc) ])
+    overheads
 
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E16"
@@ -123,8 +174,8 @@ let run ?(quick = false) ppf =
             [ Printf.sprintf "%g" overhead; "0"; "-"; "-"; "-"; "-"; "-" ]
       | Some usable ->
           let usable_s = Orbit.Contact.duration usable in
-          let lams = run_window ~o1 ~o2 ~window:usable ~protocol:`Lams in
-          let hdlc = run_window ~o1 ~o2 ~window:usable ~protocol:`Hdlc in
+          let lams = run_window ~seed:5 ~o1 ~o2 ~window:usable ~protocol:`Lams in
+          let hdlc = run_window ~seed:5 ~o1 ~o2 ~window:usable ~protocol:`Hdlc in
           let eff n = float_of_int n *. t_f /. usable_s in
           Stats.Table.add_row table
             [

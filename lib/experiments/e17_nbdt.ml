@@ -45,6 +45,61 @@ let row ~cfg ~label m =
     string_of_int (Dlc.Metrics.loss m);
   ]
 
+let nbdt_metrics ~cfg m =
+  let elapsed = Dlc.Metrics.elapsed m in
+  let eff =
+    if elapsed > 0. then
+      float_of_int (Dlc.Metrics.unique_delivered m) *. Scenario.t_f cfg /. elapsed
+    else 0.
+  in
+  [
+    ("efficiency", eff);
+    ("holding_time_mean", Stats.Online.mean m.Dlc.Metrics.holding_time);
+    ("send_buffer_peak", float_of_int m.Dlc.Metrics.send_buffer_peak);
+    ("retransmissions", float_of_int m.Dlc.Metrics.retransmissions);
+    ("loss", float_of_int (Dlc.Metrics.loss m));
+    ("delivered", float_of_int (Dlc.Metrics.unique_delivered m));
+  ]
+
+let points ~quick =
+  let n = if quick then 500 else 2000 in
+  let bers = if quick then [ 1e-5 ] else [ 1e-6; 1e-5; 1e-4 ] in
+  List.concat_map
+    (fun ber ->
+      let cfg = { Scenario.default with Scenario.ber; n_frames = n } in
+      let rtt = Scenario.rtt cfg in
+      let nbdt_base =
+        {
+          Nbdt.Params.default with
+          Nbdt.Params.report_interval = 64. *. Scenario.t_f cfg;
+          resend_timeout = 2. *. rtt;
+          retx_cooldown = 1.2 *. rtt;
+        }
+      in
+      let nbdt_point tag params =
+        {
+          Runner.label = Printf.sprintf "ber=%g/%s" ber tag;
+          run =
+            (fun ~seed ->
+              nbdt_metrics ~cfg
+                (run_nbdt ~cfg:{ cfg with Scenario.seed } ~params));
+        }
+      in
+      [
+        nbdt_point "nbdt-multiphase"
+          {
+            nbdt_base with
+            Nbdt.Params.mode = Nbdt.Params.Multiphase;
+            batch_size = 512;
+          };
+        nbdt_point "nbdt-continuous" nbdt_base;
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/lams" ber)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg));
+      ])
+    bers
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E17" ~title:"NBDT baselines vs LAMS-DLC";
   let n = if quick then 500 else 2000 in

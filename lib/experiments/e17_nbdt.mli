@@ -11,4 +11,7 @@
 
 val name : string
 
+val points : quick:bool -> Runner.point list
+(** Parameter points for the replicated matrix runner. *)
+
 val run : ?quick:bool -> Format.formatter -> unit

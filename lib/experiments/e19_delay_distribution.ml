@@ -42,6 +42,33 @@ let run_one ~cfg ~rate ~protocol =
   Sim.Engine.run engine;
   (online, hist)
 
+let points ~quick =
+  let n = if quick then 1000 else 5000 in
+  let cfg = { Scenario.default with Scenario.n_frames = n; horizon = 120. } in
+  List.concat_map
+    (fun (load_label, load) ->
+      let rate = load /. Scenario.t_f cfg in
+      List.map
+        (fun (tag, protocol) ->
+          {
+            Runner.label = Printf.sprintf "load=%s/%s" load_label tag;
+            run =
+              (fun ~seed ->
+                let online, hist =
+                  run_one ~cfg:{ cfg with Scenario.seed } ~rate ~protocol
+                in
+                [
+                  ("delay_mean_s", Stats.Online.mean online);
+                  ("delay_p50_s", Stats.Histogram.percentile hist 50.);
+                  ("delay_p95_s", Stats.Histogram.percentile hist 95.);
+                  ("delay_p99_s", Stats.Histogram.percentile hist 99.);
+                  ("delay_max_s", Stats.Online.max online);
+                  ("delivered", Stats.Online.count online |> float_of_int);
+                ]);
+          })
+        [ ("lams", `Lams); ("hdlc", `Hdlc) ])
+    [ ("4%", 0.04); ("50%", 0.5) ]
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E19" ~title:"delivery-delay distribution";
   let n = if quick then 1000 else 5000 in

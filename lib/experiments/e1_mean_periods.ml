@@ -1,5 +1,23 @@
 let name = "E1 mean periods s-bar vs BER"
 
+let points ~quick =
+  let n_frames = if quick then 300 else 2000 in
+  let bers = if quick then [ 1e-6; 1e-4 ] else [ 1e-6; 3e-6; 1e-5; 3e-5; 1e-4 ] in
+  List.concat_map
+    (fun ber ->
+      let cfg = { Scenario.default with Scenario.ber; n_frames } in
+      [
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/lams" ber)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg));
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/hdlc" ber)
+          cfg
+          (Scenario.Hdlc (Scenario.default_hdlc_params cfg));
+      ])
+    bers
+
 let sim_s_bar (r : Scenario.result) =
   let m = r.Scenario.metrics in
   let sent = m.Dlc.Metrics.iframes_sent + m.Dlc.Metrics.retransmissions in

@@ -7,4 +7,7 @@
 
 val name : string
 
+val points : quick:bool -> Runner.point list
+(** BER sweep × {lams, hdlc} for the replicated matrix runner. *)
+
 val run : ?quick:bool -> Format.formatter -> unit

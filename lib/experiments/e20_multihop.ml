@@ -59,6 +59,32 @@ let run_one ~cfg ~hops ~messages ~message_bytes ~protocol =
     Stats.Online.max latency,
     Netstack.Resequencer.duplicates_dropped reseq )
 
+let points ~quick =
+  let messages = if quick then 10 else 40 in
+  let message_bytes = 16_384 in
+  let cfg = { Scenario.default with Scenario.ber = 1e-5; horizon = 60. } in
+  List.concat_map
+    (fun hops ->
+      List.map
+        (fun (tag, protocol) ->
+          {
+            Runner.label = Printf.sprintf "hops=%d/%s" hops tag;
+            run =
+              (fun ~seed ->
+                let n, mean, worst, dups =
+                  run_one ~cfg:{ cfg with Scenario.seed } ~hops ~messages
+                    ~message_bytes ~protocol
+                in
+                [
+                  ("delivered", float_of_int n);
+                  ("latency_mean_s", mean);
+                  ("latency_max_s", worst);
+                  ("dups_dropped", float_of_int dups);
+                ]);
+          })
+        [ ("lams", `Lams); ("hdlc", `Hdlc) ])
+    (if quick then [ 2 ] else [ 1; 2; 4 ])
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E20" ~title:"multi-hop store-and-forward";
   let messages = if quick then 10 else 40 in

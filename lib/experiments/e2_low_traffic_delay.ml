@@ -1,5 +1,22 @@
 let name = "E2 low-traffic delivery time D_low(N)"
 
+let points ~quick =
+  let ns = if quick then [ 1; 10; 50 ] else [ 1; 10; 50; 100; 500; 1000 ] in
+  List.concat_map
+    (fun n ->
+      let cfg = { Scenario.default with Scenario.n_frames = n; ber = 1e-5 } in
+      [
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "n=%d/lams" n)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg));
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "n=%d/hdlc" n)
+          cfg
+          (Scenario.Hdlc (Scenario.default_hdlc_params cfg));
+      ])
+    ns
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E2" ~title:"low-traffic delivery time D_low(N)";
   let ns = if quick then [ 1; 10; 50 ] else [ 1; 10; 50; 100; 500; 1000 ] in

@@ -1,5 +1,30 @@
 let name = "E3 LAMS-DLC holding time H_frame"
 
+let points ~quick =
+  let n_frames = if quick then 300 else 2000 in
+  let ber_points =
+    List.map
+      (fun ber ->
+        let cfg = { Scenario.default with Scenario.ber; n_frames } in
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g" ber)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg)))
+      (if quick then [ 1e-6; 1e-4 ] else [ 1e-6; 1e-5; 3e-5; 1e-4 ])
+  in
+  let w_cp_points =
+    List.map
+      (fun mult ->
+        let cfg = { Scenario.default with Scenario.n_frames } in
+        let w_cp = float_of_int mult *. Scenario.t_f cfg in
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "w_cp=%dtf" mult)
+          cfg
+          (Scenario.Lams { Lams_dlc.Params.default with Lams_dlc.Params.w_cp }))
+      (if quick then [ 16; 256 ] else [ 16; 64; 256; 1024 ])
+  in
+  ber_points @ w_cp_points
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E3" ~title:"LAMS-DLC mean holding time H_frame";
   let n_frames = if quick then 300 else 2000 in

@@ -7,6 +7,28 @@ let measure cfg protocol =
     float_of_int m.Dlc.Metrics.send_buffer_peak,
     float_of_int (Dlc.Metrics.loss m) )
 
+let points ~quick =
+  let base = { Scenario.default with Scenario.ber = 1e-5 } in
+  let link = Scenario.analytic_link base ~protocol_kind:`Lams in
+  let rate = 0.95 *. (1. -. link.Analysis.Common.p_f) /. Scenario.t_f base in
+  let ns = if quick then [ 2000; 4000 ] else [ 2000; 5000; 10000; 20000 ] in
+  List.concat_map
+    (fun n ->
+      let cfg =
+        { base with Scenario.n_frames = n; traffic = `Rate rate; horizon = 120. }
+      in
+      [
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "n=%d/lams" n)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg));
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "n=%d/hdlc" n)
+          cfg
+          (Scenario.Hdlc (Scenario.default_hdlc_params cfg));
+      ])
+    ns
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E4"
     ~title:"transparent buffer size (near-line-rate input)";

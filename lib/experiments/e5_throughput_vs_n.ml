@@ -1,5 +1,22 @@
 let name = "E5 throughput efficiency vs traffic N (headline)"
 
+let points ~quick =
+  let ns = if quick then [ 100; 1000 ] else [ 100; 500; 1000; 2000; 5000 ] in
+  List.concat_map
+    (fun n ->
+      let cfg = { Scenario.default with Scenario.n_frames = n } in
+      [
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "n=%d/lams" n)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg));
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "n=%d/hdlc" n)
+          cfg
+          (Scenario.Hdlc (Scenario.default_hdlc_params cfg));
+      ])
+    ns
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E5"
     ~title:"throughput efficiency vs traffic N (headline result)";

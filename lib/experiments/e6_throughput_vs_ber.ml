@@ -1,5 +1,25 @@
 let name = "E6 throughput efficiency vs BER"
 
+let points ~quick =
+  let n = if quick then 500 else 2000 in
+  let bers =
+    if quick then [ 1e-6; 1e-4 ] else [ 1e-7; 1e-6; 1e-5; 3e-5; 1e-4; 3e-4 ]
+  in
+  List.concat_map
+    (fun ber ->
+      let cfg = { Scenario.default with Scenario.ber; n_frames = n } in
+      [
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/lams" ber)
+          cfg
+          (Scenario.Lams (Scenario.default_lams_params cfg));
+        Scenario.matrix_point
+          ~label:(Printf.sprintf "ber=%g/hdlc" ber)
+          cfg
+          (Scenario.Hdlc (Scenario.default_hdlc_params cfg));
+      ])
+    bers
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E6" ~title:"throughput efficiency vs BER";
   let n = if quick then 500 else 2000 in

@@ -1,5 +1,27 @@
 let name = "E7 ablation: w_cp and c_depth"
 
+let points ~quick =
+  let n = if quick then 500 else 2000 in
+  let cfg = { Scenario.default with Scenario.n_frames = n; cframe_ber = 1e-4 } in
+  let w_cps = if quick then [ 16; 256 ] else [ 16; 64; 256; 1024 ] in
+  let depths = if quick then [ 1; 3 ] else [ 1; 2; 3; 5 ] in
+  List.concat_map
+    (fun w_mult ->
+      List.map
+        (fun depth ->
+          let params =
+            {
+              Lams_dlc.Params.default with
+              Lams_dlc.Params.w_cp = float_of_int w_mult *. Scenario.t_f cfg;
+              c_depth = depth;
+            }
+          in
+          Scenario.matrix_point
+            ~label:(Printf.sprintf "w_cp=%d/c_depth=%d" w_mult depth)
+            cfg (Scenario.Lams params))
+        depths)
+    w_cps
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E7" ~title:"ablation of w_cp and c_depth";
   let n = if quick then 500 else 2000 in

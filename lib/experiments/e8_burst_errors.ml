@@ -80,6 +80,32 @@ let run_one ~cfg ~burst_frames ~protocol =
     delivered = Dlc.Metrics.unique_delivered m;
   }
 
+let points ~quick =
+  let n = if quick then 500 else 2000 in
+  let bursts = if quick then [ 4.; 64. ] else [ 1.; 4.; 16.; 64.; 256. ] in
+  let cfg = { Scenario.default with Scenario.n_frames = n; horizon = 120. } in
+  List.concat_map
+    (fun burst_frames ->
+      List.map
+        (fun (tag, protocol) ->
+          {
+            Runner.label = Printf.sprintf "burst=%g/%s" burst_frames tag;
+            run =
+              (fun ~seed ->
+                let o =
+                  run_one ~cfg:{ cfg with Scenario.seed } ~burst_frames ~protocol
+                in
+                [
+                  ("efficiency", o.efficiency);
+                  ("loss", float_of_int o.loss);
+                  ("enforced_recoveries", float_of_int o.enforced);
+                  ("failed", if o.failed then 1. else 0.);
+                  ("delivered", float_of_int o.delivered);
+                ]);
+          })
+        [ ("lams", `Lams); ("hdlc", `Hdlc) ])
+    bursts
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E8" ~title:"burst errors (Gilbert-Elliott, correlated)";
   let n = if quick then 500 else 2000 in

@@ -107,6 +107,43 @@ let run_hdlc ~blackout_start ~blackout_len ~n ~cfg =
     delivered = Dlc.Metrics.unique_delivered m;
   }
 
+let points ~quick =
+  let n = if quick then 2000 else 10000 in
+  let cfg = { Scenario.default with Scenario.n_frames = n; horizon = 30. } in
+  let blackout_start = 0.02 in
+  let blackouts = if quick then [ 0.02; 1.0 ] else [ 0.01; 0.02; 0.05; 0.2; 1.0 ] in
+  let metrics (o : outcome) =
+    [
+      ("halt_detected_at", o.halt_detected_at);
+      ("recovered_at", o.recovered_at);
+      ("declared_failed", if o.declared_failed then 1. else 0.);
+      ("loss", float_of_int o.loss);
+      ("duplicates", float_of_int o.duplicates);
+      ("delivered", float_of_int o.delivered);
+    ]
+  in
+  List.concat_map
+    (fun blackout_len ->
+      [
+        {
+          Runner.label = Printf.sprintf "blackout=%g/lams" blackout_len;
+          run =
+            (fun ~seed ->
+              metrics
+                (run_lams ~blackout_start ~blackout_len ~n
+                   ~cfg:{ cfg with Scenario.seed }));
+        };
+        {
+          Runner.label = Printf.sprintf "blackout=%g/hdlc" blackout_len;
+          run =
+            (fun ~seed ->
+              metrics
+                (run_hdlc ~blackout_start ~blackout_len ~n
+                   ~cfg:{ cfg with Scenario.seed }));
+        };
+      ])
+    blackouts
+
 let run ?(quick = false) ppf =
   Report.section ppf ~id:"E9"
     ~title:"link blackout: enforced recovery and failure detection";

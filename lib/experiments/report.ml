@@ -6,3 +6,36 @@ let note ppf s = Format.fprintf ppf "%s@." s
 let table ppf t = Format.fprintf ppf "%a" Stats.Table.pp t
 
 let ratio a b = if b = 0. then nan else a /. b
+
+let stat_cell (s : Bench_report.Matrix_report.stat) =
+  if s.Bench_report.Matrix_report.count <= 1 then Printf.sprintf "%.4g" s.mean
+  else Printf.sprintf "%.4g +-%.2g" s.mean s.ci95
+
+let matrix_table ppf (e : Bench_report.Matrix_report.experiment) =
+  let metric_names =
+    match e.Bench_report.Matrix_report.points with
+    | [] -> []
+    | p :: _ -> List.map fst p.Bench_report.Matrix_report.metrics
+  in
+  let t = Stats.Table.create ~header:("point" :: metric_names) in
+  List.iter
+    (fun (p : Bench_report.Matrix_report.point) ->
+      Stats.Table.add_row t
+        (p.label
+        :: List.map
+             (fun name ->
+               match List.assoc_opt name p.metrics with
+               | Some s -> stat_cell s
+               | None -> "-")
+             metric_names))
+    e.points;
+  table ppf t
+
+let matrix ppf (r : Bench_report.Matrix_report.t) =
+  Format.fprintf ppf "matrix: %d replicate(s), root seed %d@."
+    r.Bench_report.Matrix_report.replicates r.root_seed;
+  List.iter
+    (fun (e : Bench_report.Matrix_report.experiment) ->
+      section ppf ~id:e.id ~title:e.name;
+      matrix_table ppf e)
+    r.experiments

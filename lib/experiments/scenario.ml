@@ -18,6 +18,7 @@ type config = {
   n_frames : int;
   traffic : [ `Saturating | `Rate of float ];
   horizon : float;
+  blackout : (float * float) option;
 }
 
 let default =
@@ -32,6 +33,7 @@ let default =
     n_frames = 2000;
     traffic = `Saturating;
     horizon = 60.;
+    blackout = None;
   }
 
 type result = {
@@ -91,7 +93,16 @@ let error_models cfg ~rng:_ =
   let cframe_error = Channel.Error_model.uniform ~ber:cfg.cframe_ber () in
   (iframe_error, cframe_error)
 
-let run cfg protocol =
+(* Holding bound for the LAMS oracle: the resolving period (paper §3.3)
+   plus slack for checkpoint phase, serialisation and processing — same
+   construction as the test harness. *)
+let lams_holding_bound cfg ~params =
+  Lams_dlc.Params.resolving_period params ~rtt:(rtt cfg)
+  +. params.Lams_dlc.Params.w_cp
+  +. (65536. /. cfg.data_rate_bps)
+  +. 1e-3
+
+let run_watched ?faults ?reverse_faults ~watch cfg protocol =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create ~seed:cfg.seed in
   let iframe_error, cframe_error = error_models cfg ~rng in
@@ -99,16 +110,69 @@ let run cfg protocol =
     Channel.Duplex.create_static engine ~rng ~distance_m:cfg.distance_m
       ~data_rate_bps:cfg.data_rate_bps ~iframe_error ~cframe_error
   in
-  let session, span_peak_fn =
+  let session, span_peak_fn, oracle =
     match protocol with
     | Lams params ->
         let s = Lams_dlc.Session.create engine ~params ~duplex in
+        let oracle =
+          if not watch then None
+          else begin
+            let o =
+              Oracle.create ~name:"scenario-lams-oracle"
+                (Oracle.Lams
+                   {
+                     c_depth = params.Lams_dlc.Params.c_depth;
+                     holding_bound = lams_holding_bound cfg ~params;
+                   })
+            in
+            Oracle.attach o ~probe:(Lams_dlc.Session.probe s) ~duplex;
+            Some o
+          end
+        in
         ( Lams_dlc.Session.as_dlc s,
-          fun () -> Lams_dlc.Sender.outstanding_span_peak (Lams_dlc.Session.sender s) )
+          (fun () ->
+            Lams_dlc.Sender.outstanding_span_peak (Lams_dlc.Session.sender s)),
+          oracle )
     | Hdlc params ->
         let s = Hdlc.Session.create engine ~params ~duplex in
-        (Hdlc.Session.as_dlc s, fun () -> 0)
+        let oracle =
+          if not watch then None
+          else begin
+            let o =
+              Oracle.create ~name:"scenario-hdlc-oracle"
+                (Oracle.Hdlc
+                   {
+                     window = params.Hdlc.Params.window;
+                     seq_bits = params.Hdlc.Params.seq_bits;
+                   })
+            in
+            Oracle.attach o ~probe:(Hdlc.Session.probe s) ~duplex;
+            Some o
+          end
+        in
+        (Hdlc.Session.as_dlc s, (fun () -> 0), oracle)
   in
+  (match faults with
+  | Some spec ->
+      Channel.Fault.install (Channel.Fault.compile spec)
+        duplex.Channel.Duplex.forward
+  | None -> ());
+  (match reverse_faults with
+  | Some spec ->
+      Channel.Fault.install (Channel.Fault.compile spec)
+        duplex.Channel.Duplex.reverse
+  | None -> ());
+  (match cfg.blackout with
+  | Some (start, len) ->
+      ignore
+        (Sim.Engine.schedule engine ~delay:start (fun () ->
+             Channel.Duplex.set_down duplex)
+          : Sim.Engine.event_id);
+      ignore
+        (Sim.Engine.schedule engine ~delay:(start +. len) (fun () ->
+             Channel.Duplex.set_up duplex)
+          : Sim.Engine.event_id)
+  | None -> ());
   let payload = Workload.Arrivals.default_payload ~size:cfg.payload_bytes in
   let arrivals =
     match cfg.traffic with
@@ -138,15 +202,75 @@ let run cfg protocol =
   session.Dlc.Session.stop ();
   Sim.Engine.run engine ~until:(cfg.horizon +. 10.);
   let elapsed = Dlc.Metrics.elapsed metrics in
+  let result =
+    {
+      metrics;
+      elapsed;
+      sim_time = Sim.Engine.now engine;
+      completed = Dlc.Metrics.unique_delivered metrics >= cfg.n_frames;
+      sender_backlog = session.Dlc.Session.sender_backlog ();
+      span_peak = span_peak_fn ();
+      efficiency =
+        (if elapsed > 0. then
+           float_of_int (Dlc.Metrics.unique_delivered metrics)
+           *. t_f cfg /. elapsed
+         else 0.);
+    }
+  in
+  let violations =
+    match oracle with
+    | None -> []
+    | Some o ->
+        Oracle.finalize o;
+        Oracle.violations o
+  in
+  (result, violations)
+
+let run cfg protocol = fst (run_watched ~watch:false cfg protocol)
+
+let run_checked ?faults ?reverse_faults cfg protocol =
+  run_watched ?faults ?reverse_faults ~watch:true cfg protocol
+
+(* --- matrix points ------------------------------------------------------ *)
+
+(* Uniform per-replicate metric vector for the matrix runner. Every
+   value is a float; booleans are 0/1 so replicate folds read as
+   frequencies. *)
+let matrix_metrics (r : result) =
+  let m = r.metrics in
+  let f = float_of_int in
+  [
+    ("efficiency", r.efficiency);
+    ("elapsed_s", r.elapsed);
+    ("delivered", f (Dlc.Metrics.unique_delivered m));
+    ("loss", f (Dlc.Metrics.loss m));
+    ("duplicates", f m.Dlc.Metrics.duplicates);
+    ("iframes_sent", f m.Dlc.Metrics.iframes_sent);
+    ("retransmissions", f m.Dlc.Metrics.retransmissions);
+    ("control_sent", f m.Dlc.Metrics.control_sent);
+    ("enforced_recoveries", f m.Dlc.Metrics.enforced_recoveries);
+    ("holding_time_mean", Stats.Online.mean m.Dlc.Metrics.holding_time);
+    ("delivery_delay_mean", Stats.Online.mean m.Dlc.Metrics.delivery_delay);
+    ("send_buffer_mean", Stats.Online.mean m.Dlc.Metrics.send_buffer);
+    ("send_buffer_peak", f m.Dlc.Metrics.send_buffer_peak);
+    ("span_peak", f r.span_peak);
+    ("completed", if r.completed then 1. else 0.);
+  ]
+
+let matrix_point ?faults ?reverse_faults ?(check = false) ~label cfg protocol =
   {
-    metrics;
-    elapsed;
-    sim_time = Sim.Engine.now engine;
-    completed = Dlc.Metrics.unique_delivered metrics >= cfg.n_frames;
-    sender_backlog = session.Dlc.Session.sender_backlog ();
-    span_peak = span_peak_fn ();
-    efficiency =
-      (if elapsed > 0. then
-         float_of_int (Dlc.Metrics.unique_delivered metrics) *. t_f cfg /. elapsed
-       else 0.);
+    Runner.label;
+    run =
+      (fun ~seed ->
+        let cfg = { cfg with seed } in
+        let faults =
+          Option.map (fun mk -> mk ~seed) faults
+        and reverse_faults = Option.map (fun mk -> mk ~seed) reverse_faults in
+        if check || Option.is_some faults || Option.is_some reverse_faults
+        then begin
+          let r, violations = run_checked ?faults ?reverse_faults cfg protocol in
+          matrix_metrics r
+          @ [ ("oracle_violations", float_of_int (List.length violations)) ]
+        end
+        else matrix_metrics (run cfg protocol));
   }

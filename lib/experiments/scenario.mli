@@ -25,11 +25,14 @@ type config = {
   n_frames : int;
   traffic : [ `Saturating | `Rate of float ];
   horizon : float;  (** hard stop for the run, simulated seconds *)
+  blackout : (float * float) option;
+      (** [(start, length)]: take both link directions down at [start]
+          for [length] simulated seconds (the E9 failure drill) *)
 }
 
 val default : config
 (** seed 1, 4,000 km, 300 Mbit/s, 1024 B payloads, BER 1e-5 for both
-    frame classes, 2,000 saturating frames, 60 s horizon. *)
+    frame classes, 2,000 saturating frames, 60 s horizon, no blackout. *)
 
 type result = {
   metrics : Dlc.Metrics.t;
@@ -42,6 +45,37 @@ type result = {
 }
 
 val run : config -> protocol -> result
+
+val run_checked :
+  ?faults:Channel.Fault.spec ->
+  ?reverse_faults:Channel.Fault.spec ->
+  config ->
+  protocol ->
+  result * Oracle.violation list
+(** [run] with the protocol-matched {!Oracle} invariant checker
+    subscribed to the session's probe and reverse link for the whole
+    run, and optional {!Channel.Fault} scripts compiled onto the
+    forward / reverse links. Violations are returned (finalized), not
+    raised, so replicated sweeps can count them as a metric. *)
+
+val matrix_metrics : result -> (string * float) list
+(** Uniform per-replicate metric vector (efficiency, deliveries, loss,
+    holding/delay means, ...) for {!Runner} points; booleans are 0/1. *)
+
+val matrix_point :
+  ?faults:(seed:int -> Channel.Fault.spec) ->
+  ?reverse_faults:(seed:int -> Channel.Fault.spec) ->
+  ?check:bool ->
+  label:string ->
+  config ->
+  protocol ->
+  Runner.point
+(** A matrix point that runs this scenario with the replicate's derived
+    seed substituted for [cfg.seed]. With [check:true] or any fault
+    script the run goes through {!run_checked} and the metric vector
+    gains an [oracle_violations] count; fault constructors receive the
+    replicate seed so adversary scripts can vary per replicate while
+    staying reproducible. *)
 
 val iframe_bits : config -> int
 

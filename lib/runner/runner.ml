@@ -1,0 +1,125 @@
+module Pool = Pool
+
+type point = { label : string; run : seed:int -> (string * float) list }
+
+type experiment = { id : string; name : string; points : point list }
+
+let seed_of_task ~root_seed ~experiment_id ~point_label ~replicate =
+  Sim.Rng.derive_seed ~root:root_seed
+    [ experiment_id; point_label; string_of_int replicate ]
+
+let task_count ~replicates experiments =
+  List.fold_left
+    (fun acc e -> acc + (List.length e.points * replicates))
+    0 experiments
+
+(* One task = one replicate of one point. The flat array fixes both the
+   work distribution (Pool.map claims indices) and the fold order
+   (ascending index), which is what makes the result independent of the
+   worker count. *)
+type task = {
+  exp_idx : int;
+  point_idx : int;
+  point : point;
+  seed : int;
+}
+
+let check_distinct_ids experiments =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.id then
+        invalid_arg (Printf.sprintf "Runner.run: duplicate experiment id %S" e.id);
+      Hashtbl.add seen e.id ())
+    experiments
+
+let run ?jobs ?(root_seed = 1) ~replicates experiments =
+  if replicates < 1 then invalid_arg "Runner.run: replicates must be >= 1";
+  check_distinct_ids experiments;
+  let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
+  let experiments_a = Array.of_list experiments in
+  let tasks =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun exp_idx e ->
+              let points = Array.of_list e.points in
+              Array.init
+                (Array.length points * replicates)
+                (fun k ->
+                  let point_idx = k / replicates in
+                  let replicate = k mod replicates in
+                  let point = points.(point_idx) in
+                  {
+                    exp_idx;
+                    point_idx;
+                    point;
+                    seed =
+                      seed_of_task ~root_seed ~experiment_id:e.id
+                        ~point_label:point.label ~replicate;
+                  }))
+            experiments_a))
+  in
+  let outcomes = Pool.map ~jobs (fun t -> t.point.run ~seed:t.seed) tasks in
+  (* Sequential fold in task order: replicate 0 defines the metric set,
+     later replicates must match it exactly. *)
+  let accs : (int * int, (string * Stats.Online.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri
+    (fun i t ->
+      let metrics = outcomes.(i) in
+      let key = (t.exp_idx, t.point_idx) in
+      match Hashtbl.find_opt accs key with
+      | None ->
+          Hashtbl.add accs key
+            (List.map
+               (fun (name, v) ->
+                 let o = Stats.Online.create () in
+                 Stats.Online.add o v;
+                 (name, o))
+               metrics)
+      | Some folded ->
+          (try
+             List.iter2
+               (fun (name, o) (name', v) ->
+                 if name <> name' then raise Exit;
+                 Stats.Online.add o v)
+               folded metrics
+           with Exit | Invalid_argument _ ->
+             invalid_arg
+               (Printf.sprintf
+                  "Runner.run: point %S of %S returned inconsistent metrics \
+                   across replicates"
+                  t.point.label experiments_a.(t.exp_idx).id)))
+    tasks;
+  let experiments_out =
+    List.mapi
+      (fun exp_idx (e : experiment) ->
+        {
+          Bench_report.Matrix_report.id = e.id;
+          name = e.name;
+          points =
+            List.mapi
+              (fun point_idx (p : point) ->
+                let folded = Hashtbl.find accs (exp_idx, point_idx) in
+                {
+                  Bench_report.Matrix_report.label = p.label;
+                  metrics =
+                    List.map
+                      (fun (name, o) ->
+                        (name, Bench_report.Matrix_report.stat_of_online o))
+                      folded;
+                })
+              e.points;
+        })
+      experiments
+  in
+  {
+    Bench_report.Matrix_report.schema_version =
+      Bench_report.Matrix_report.schema_version;
+    root_seed;
+    replicates;
+    experiments = experiments_out;
+    meta = None;
+  }

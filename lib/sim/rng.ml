@@ -84,6 +84,28 @@ let binomial t ~n ~p =
     max 0 (min n x)
   end
 
+(* Path-based seed derivation. Each component is absorbed into the
+   64-bit state byte by byte through the SplitMix64 finalizer, with a
+   length prefix so ["ab"; "c"] and ["a"; "bc"] land on different
+   streams. Pure Int64 arithmetic: the result is identical on every
+   platform and OCaml version, which is what lets replicated experiments
+   name their RNG streams structurally (root / experiment / point /
+   replicate) instead of sharing one mutable generator. *)
+let absorb h x = mix64 (Int64.add (Int64.logxor h x) golden_gamma)
+
+let absorb_string h s =
+  let h = ref (absorb h (Int64.of_int (String.length s))) in
+  String.iter (fun c -> h := absorb !h (Int64.of_int (Char.code c))) s;
+  !h
+
+let derive_bits ~root path =
+  List.fold_left absorb_string (mix64 (Int64.of_int root)) path
+
+let derive_seed ~root path =
+  Int64.to_int (derive_bits ~root path) land max_int
+
+let derive ~root path = { state = mix64 (derive_bits ~root path) }
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

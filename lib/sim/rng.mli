@@ -21,6 +21,21 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val derive_seed : root:int -> string list -> int
+(** [derive_seed ~root path] hashes [root] and the path components into a
+    non-negative seed. Replicated experiments use it to give every
+    (experiment, point, replicate) task an independent stream —
+    [f root ["e6"; "ber=1e-5"; "3"]] — with no shared mutable RNG, so a
+    task's draws never depend on scheduling order. The mapping is pure
+    64-bit arithmetic: stable across runs, platforms and OCaml versions.
+    Distinct paths give (with overwhelming probability) unrelated
+    streams; a component list is length-prefixed, so [["ab"; "c"]] and
+    [["a"; "bc"]] differ. *)
+
+val derive : root:int -> string list -> t
+(** [derive ~root path] is a generator seeded from the full 64-bit
+    derivation of [derive_seed] (not truncated to [int]). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

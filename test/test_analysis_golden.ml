@@ -1,0 +1,131 @@
+(* Golden regression tests for the §4 closed forms.
+
+   The values below are the models' outputs at the paper's operating
+   point (4,000 km, 300 Mbit/s, 8296-bit I-frames, 176-bit commands,
+   10 us processing, strongly coded control channel; I_cp = 64 t_f,
+   alpha = R/2, W = 127, N = 2000), captured from the current
+   implementation. Test_analysis checks the formulas' *structure*
+   (monotonicity, identities); this file pins their *numbers*, so an
+   accidental change to any constant or term shows up as a diff against
+   the paper-parameter table rather than passing a shape check. *)
+
+let link ~ber =
+  Analysis.Common.link_of_physical ~distance_m:4e6 ~data_rate_bps:300e6
+    ~iframe_bits:8296 ~cframe_bits:176 ~t_proc:10e-6 ~ber ~cframe_ber:1e-8
+
+let check ~what ~expect got =
+  (* tight relative tolerance: these are pure float formulas, so only
+     genuine formula changes (not platform noise) should move them by
+     more than a few ulps *)
+  let tol = 1e-12 *. Float.abs expect in
+  if Float.abs (got -. expect) > tol then
+    Alcotest.failf "%s: expected %.17g, got %.17g" what expect got
+
+(* rows: ber, p_f, lams s_bar, lams d_low(1), lams buffer, lams n_total,
+   lams eff, hdlc p_r, hdlc d_low(W), hdlc eff *)
+let golden =
+  [
+    ( 1e-6,
+      0.0082616872688179178,
+      1.0083305113483674,
+      0.027838268465560909,
+      1007.049245379493,
+      2016.6610226967323,
+      0.66173702405621548,
+      0.008263432726721049,
+      0.03044137838942872,
+      0.11365564746058449 );
+    ( 1e-5,
+      0.079612419777088425,
+      1.0864987984277308,
+      0.029996360218927029,
+      1085.0901718512669,
+      2172.9975968553904,
+      0.61411365546648478,
+      0.079614039657812219,
+      0.032621910433580911,
+      0.10522127276521287 );
+    ( 3e-5,
+      0.22032938213529166,
+      1.282592901523864,
+      0.035410180613198068,
+      1280.8647762728328,
+      2565.1858030476333,
+      0.52019812816888855,
+      0.22033075435437841,
+      0.038601916305490321,
+      0.087561429173817248 );
+    ( 1e-4,
+      0.56379435446718329,
+      2.2924966933394901,
+      0.063291884642322965,
+      2289.1231186953819,
+      4584.9933866780493,
+      0.29100412183667845,
+      0.56379512218844763,
+      0.074478407596718282,
+      0.043933998174973753 );
+  ]
+
+let test_golden_sweep () =
+  List.iter
+    (fun ( ber,
+           p_f,
+           lams_s_bar,
+           lams_d_low1,
+           lams_buffer,
+           lams_n_total,
+           lams_eff,
+           hdlc_p_r,
+           hdlc_d_low_w,
+           hdlc_eff ) ->
+      let l = link ~ber in
+      let i_cp = 64. *. l.Analysis.Common.t_f in
+      let alpha = l.Analysis.Common.r /. 2. in
+      let w = 127 and n = 2000 in
+      let tag what = Printf.sprintf "ber=%g %s" ber what in
+      check ~what:(tag "p_f") ~expect:p_f l.Analysis.Common.p_f;
+      check ~what:(tag "lams s_bar") ~expect:lams_s_bar
+        (Analysis.Lams_model.s_bar l);
+      check ~what:(tag "lams d_low(1)") ~expect:lams_d_low1
+        (Analysis.Lams_model.d_low l ~i_cp ~n:1);
+      (* the paper's identity: a single frame's D_low is its holding time *)
+      check ~what:(tag "lams holding = d_low(1)") ~expect:lams_d_low1
+        (Analysis.Lams_model.holding_time l ~i_cp);
+      check ~what:(tag "lams transparent_buffer") ~expect:lams_buffer
+        (Analysis.Lams_model.transparent_buffer l ~i_cp);
+      check ~what:(tag "lams n_total") ~expect:lams_n_total
+        (Analysis.Lams_model.n_total l ~i_cp ~n);
+      check ~what:(tag "lams efficiency") ~expect:lams_eff
+        (Analysis.Lams_model.throughput_efficiency l ~i_cp ~n);
+      check ~what:(tag "hdlc p_r") ~expect:hdlc_p_r (Analysis.Hdlc_model.p_r l);
+      check ~what:(tag "hdlc d_low(W)") ~expect:hdlc_d_low_w
+        (Analysis.Hdlc_model.d_low l ~alpha ~w);
+      check ~what:(tag "hdlc efficiency") ~expect:hdlc_eff
+        (Analysis.Hdlc_model.throughput_efficiency l ~alpha ~w ~n))
+    golden
+
+let test_golden_numbering () =
+  (* BER-independent: the numbering bound depends only on timing *)
+  List.iter
+    (fun ber ->
+      let l = link ~ber in
+      let i_cp = 64. *. l.Analysis.Common.t_f in
+      check
+        ~what:(Printf.sprintf "ber=%g numbering_size" ber)
+        ~expect:1188.9877392424844
+        (Analysis.Lams_model.numbering_size l ~i_cp ~c_depth:3))
+    [ 1e-6; 1e-4 ]
+
+let test_golden_p_c () =
+  let l = link ~ber:1e-5 in
+  check ~what:"p_c (strong control code)" ~expect:1.7599984600008934e-06
+    l.Analysis.Common.p_c
+
+let suite =
+  [
+    Alcotest.test_case "paper-point golden sweep" `Quick test_golden_sweep;
+    Alcotest.test_case "numbering bound pinned" `Quick test_golden_numbering;
+    Alcotest.test_case "control-error probability pinned" `Quick
+      test_golden_p_c;
+  ]

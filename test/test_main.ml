@@ -23,9 +23,12 @@ let () =
       ("nbdt", Test_nbdt.suite);
       ("nbdt-receiver-unit", Test_nbdt_receiver_unit.suite);
       ("analysis", Test_analysis.suite);
+      ("analysis-golden", Test_analysis_golden.suite);
       ("oracle", Test_oracle.suite);
       ("netstack", Test_netstack.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
       ("bench-report", Test_bench_report.suite);
+      ("runner", Test_runner.suite);
+      ("matrix-soak", Test_matrix_soak.suite);
     ]

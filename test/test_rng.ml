@@ -119,6 +119,57 @@ let test_shuffle_is_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
 
+(* --- hash-based path derivation (the matrix runner's seeds) --------- *)
+
+let test_derive_determinism () =
+  let a = Sim.Rng.derive ~root:42 [ "e6"; "ber=1e-5"; "0" ]
+  and b = Sim.Rng.derive ~root:42 [ "e6"; "ber=1e-5"; "0" ] in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same path, same stream" (Sim.Rng.bits64 a)
+      (Sim.Rng.bits64 b)
+  done
+
+let test_derive_stability () =
+  (* Pinned value: derivation must never change across runs, platforms
+     or releases, or archived matrix reports stop being reproducible. *)
+  Alcotest.(check int)
+    "derive_seed(42, e6/ber=1e-5/0) pinned" 2359814061942860303
+    (Sim.Rng.derive_seed ~root:42 [ "e6"; "ber=1e-5"; "0" ]);
+  Alcotest.(check int)
+    "derive_seed(42, e6/ber=1e-5/1) pinned" 4322269616280044835
+    (Sim.Rng.derive_seed ~root:42 [ "e6"; "ber=1e-5"; "1" ])
+
+let test_derive_component_boundaries () =
+  (* length-prefixed absorption: moving a byte across a component
+     boundary must give a different seed *)
+  Alcotest.(check bool) "ab|c differs from a|bc" false
+    (Sim.Rng.derive_seed ~root:1 [ "ab"; "c" ]
+    = Sim.Rng.derive_seed ~root:1 [ "a"; "bc" ]);
+  Alcotest.(check bool) "root matters" false
+    (Sim.Rng.derive_seed ~root:1 [ "x" ] = Sim.Rng.derive_seed ~root:2 [ "x" ])
+
+let test_derive_stream_independence () =
+  (* Sibling replicate streams must not overlap: 10k draws from each of
+     several derived generators are pairwise distinct. With 64-bit
+     outputs a single collision among 40k draws has probability ~4e-11,
+     so any hit means real structure (e.g. one stream lagging another). *)
+  let draws_per_stream = 10_000 in
+  let seen = Hashtbl.create (8 * draws_per_stream) in
+  List.iter
+    (fun replicate ->
+      let rng =
+        Sim.Rng.derive ~root:42 [ "e6"; "ber=1e-5"; string_of_int replicate ]
+      in
+      for _ = 1 to draws_per_stream do
+        let v = Sim.Rng.bits64 rng in
+        (match Hashtbl.find_opt seen v with
+        | Some other ->
+            Alcotest.failf "streams %d and %d share value %Ld" replicate other v
+        | None -> ());
+        Hashtbl.add seen v replicate
+      done)
+    [ 0; 1; 2; 3 ]
+
 let prop_int_in_bounds =
   QCheck2.Test.make ~name:"rng int always in [0,n)" ~count:500
     QCheck2.Gen.(pair (int_range 1 1_000_000) int)
@@ -152,6 +203,12 @@ let suite =
     Alcotest.test_case "binomial large mean" `Slow test_binomial_large_mean;
     Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
     Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "derive determinism" `Quick test_derive_determinism;
+    Alcotest.test_case "derive stability (pinned)" `Quick test_derive_stability;
+    Alcotest.test_case "derive component boundaries" `Quick
+      test_derive_component_boundaries;
+    Alcotest.test_case "derive stream independence" `Slow
+      test_derive_stream_independence;
     QCheck_alcotest.to_alcotest prop_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_float_in_bounds;
   ]
