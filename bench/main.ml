@@ -119,6 +119,22 @@ let bench_hdlc_session =
            (Experiments.Scenario.Hdlc
               (Experiments.Scenario.default_hdlc_params Experiments.Scenario.default))))
 
+(* same transfer with a flight recorder subscribed: the delta against
+   bench_lams_session is the cost of always-on tracing *)
+let bench_lams_session_traced =
+  Test.make ~name:"trace: LAMS-DLC 500-frame session, recorded"
+    (Staged.stage (fun () ->
+         let recorder = Trace.Recorder.create ~name:"bench" () in
+         let cfg =
+           { Experiments.Scenario.default with Experiments.Scenario.n_frames = 500 }
+         in
+         ignore
+           (Experiments.Scenario.run ~recorder cfg
+              (Experiments.Scenario.Lams
+                 (Experiments.Scenario.default_lams_params
+                    Experiments.Scenario.default))
+             : Experiments.Scenario.result)))
+
 (* one Test.make per experiment table: the cost of regenerating it *)
 let bench_experiments =
   List.map
@@ -143,6 +159,7 @@ let micro_tests =
     bench_ge_model;
     bench_lams_session;
     bench_hdlc_session;
+    bench_lams_session_traced;
   ]
   @ bench_experiments
 

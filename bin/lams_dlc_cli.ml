@@ -8,6 +8,23 @@
 
 open Cmdliner
 
+(* Shared --trace DIR flag: point-in-time process config consumed by
+   Scenario's auto-capture (content-addressed per-replicate files). *)
+let trace_dir_arg =
+  let doc =
+    "Capture a JSONL trace of every simulated run into $(docv) \
+     (content-addressed file names; plus a .metrics.json summary per \
+     run and a .flight.jsonl dump on any oracle violation)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"DIR" ~doc)
+
+let set_trace_config dir =
+  Trace.Config.set
+    (Option.map
+       (fun dir ->
+         { Trace.Config.dir; capacity = Trace.Config.default_capacity })
+       dir)
+
 let list_cmd =
   let doc = "List the available experiments (paper-evaluation reproductions)." in
   let run () =
@@ -40,7 +57,8 @@ let run_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run ids quick all jobs =
+  let run ids quick all jobs trace_dir =
+    set_trace_config trace_dir;
     let selected =
       if all || ids = [] then Experiments.All.all
       else
@@ -60,7 +78,8 @@ let run_cmd =
         (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
         selected
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ quick $ all $ jobs)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ ids $ quick $ all $ jobs $ trace_dir_arg)
 
 (* --- experiments: the replicated matrix runner ------------------------- *)
 
@@ -142,7 +161,8 @@ let experiments_run_cmd =
              ~doc:"Omit run metadata (host, timestamp, jobs) from the JSON so \
                    two runs diff byte-for-byte.")
   in
-  let run ids all quick jobs replicates root_seed json out no_meta =
+  let run ids all quick jobs replicates root_seed json out no_meta trace_dir =
+    set_trace_config trace_dir;
     if replicates < 1 then begin
       Format.eprintf "--replicates must be >= 1@.";
       exit 2
@@ -180,7 +200,7 @@ let experiments_run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ ids $ all $ quick $ jobs $ replicates $ root_seed $ json
-      $ out $ no_meta)
+      $ out $ no_meta $ trace_dir_arg)
 
 let experiments_cmd =
   let doc = "Replicated experiment-matrix runner (deterministic seeds)." in
@@ -225,6 +245,29 @@ let metrics_json ~protocol ~extra (m : Dlc.Metrics.t) =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+(* Explicit-path capture for single runs: the recorder plus a closure
+   that publishes FILE, FILE.metrics.json and (on violation)
+   FILE.flight.jsonl. *)
+let file_capture path =
+  let recorder = Trace.Recorder.create ~name:(Filename.basename path) () in
+  let buf = Buffer.create 65536 in
+  Trace.Recorder.set_sink recorder (fun e ->
+      Buffer.add_string buf (Trace.Event.to_line e);
+      Buffer.add_char buf '\n');
+  let write () =
+    Trace.Config.write_atomic ~path (Buffer.contents buf);
+    Trace.Config.write_atomic
+      ~path:(path ^ ".metrics.json")
+      (Bench_report.Json.to_string ~indent:2
+         (Trace.Metrics.to_json (Trace.Recorder.metrics recorder))
+      ^ "\n");
+    match Trace.Recorder.flight_jsonl recorder with
+    | Some dump ->
+        Trace.Config.write_atomic ~path:(path ^ ".flight.jsonl") dump
+    | None -> ()
+  in
+  (recorder, write)
+
 let sim_cmd =
   let doc =
     "Run a single ad-hoc scenario (protocol, link and channel from flags) \
@@ -266,7 +309,17 @@ let sim_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run protocol frames ber cber distance_km rate_mbps payload seed json =
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the run's JSONL event trace to $(docv) (plus \
+                   $(docv).metrics.json).")
+  in
+  let run protocol frames ber cber distance_km rate_mbps payload seed json
+      trace_file =
+    let capture = Option.map file_capture trace_file in
+    let recorder = Option.map fst capture in
+    let finish () = match capture with Some (_, w) -> w () | None -> () in
     let cfg =
       {
         Experiments.Scenario.default with
@@ -299,7 +352,8 @@ let sim_cmd =
     in
     match proto with
     | Some proto ->
-        let r = Experiments.Scenario.run cfg proto in
+        let r = Experiments.Scenario.run ?recorder cfg proto in
+        finish ();
         if json then
           print_endline
             (metrics_json ~protocol
@@ -343,7 +397,12 @@ let sim_cmd =
                 { Nbdt.Params.default with Nbdt.Params.mode = Nbdt.Params.Multiphase }
               else Nbdt.Params.default
             in
-            let dlc = Nbdt.Session.as_dlc (Nbdt.Session.create engine ~params ~duplex) in
+            let nbdt_session = Nbdt.Session.create engine ~params ~duplex in
+            (match recorder with
+            | Some r ->
+                Trace.Recorder.attach_probe r (Nbdt.Session.probe nbdt_session)
+            | None -> ());
+            let dlc = Nbdt.Session.as_dlc nbdt_session in
             dlc.Dlc.Session.set_on_deliver (fun ~payload:_ -> ());
             ignore
               (Workload.Arrivals.saturating engine ~session:dlc ~count:frames
@@ -362,6 +421,7 @@ let sim_cmd =
             Sim.Engine.run engine ~until:120.;
             dlc.Dlc.Session.stop ();
             Sim.Engine.run engine;
+            finish ();
             if json then
               print_endline
                 (metrics_json ~protocol ~extra:[] dlc.Dlc.Session.metrics)
@@ -376,9 +436,147 @@ let sim_cmd =
     Term.(
       ret
         (const run $ protocol $ frames $ ber $ cber $ distance_km $ rate_mbps
-       $ payload $ seed $ json))
+       $ payload $ seed $ json $ trace_file))
+
+(* --- trace: capture, validate and summarise JSONL traces --------------- *)
+
+let trace_run_cmd =
+  let doc =
+    "Run one deterministic traced scenario and write its JSONL trace. \
+     Default: a clean-channel LAMS-DLC transfer with a scripted drop \
+     of two I-frames and one checkpoint (recoverable; exercises \
+     retransmission and NAK events). With $(b,--disaster): a \
+     misconfigured receiver silently loses a frame, the oracle trips, \
+     and the flight recorder publishes FILE.flight.jsonl."
+  in
+  let out =
+    Arg.(value & opt string "trace.jsonl"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace path.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let frames =
+    Arg.(value & opt int 24 & info [ "n"; "frames" ] ~docv:"N"
+           ~doc:"Frames to transfer.")
+  in
+  let disaster =
+    Arg.(value & flag
+         & info [ "disaster" ]
+             ~doc:"Induce a guaranteed oracle violation (broken receiver \
+                   with an empty NAK-cumulation window + one scripted \
+                   drop) and dump the flight recorder.")
+  in
+  let run out seed frames disaster =
+    let recorder, write = file_capture out in
+    let violations =
+      if disaster then
+        (Experiments.Disaster.run ~seed ~frames ~recorder ()).Experiments.Disaster.violations
+      else begin
+        let cfg =
+          {
+            Experiments.Scenario.default with
+            Experiments.Scenario.seed;
+            n_frames = frames;
+            ber = 0.;
+            cframe_ber = 0.;
+            payload_bytes = 256;
+            horizon = 10.;
+          }
+        in
+        let proto =
+          Experiments.Scenario.Lams
+            (Experiments.Scenario.default_lams_params cfg)
+        in
+        let faults =
+          Channel.Fault.(
+            Rules
+              [
+                rule ~copies:1 (I_nth 5) Drop;
+                rule ~copies:1 (I_nth 12) Drop;
+              ])
+        in
+        let reverse_faults =
+          Channel.Fault.(Rules [ rule ~copies:1 (Cp_seq 3) Drop ])
+        in
+        snd
+          (Experiments.Scenario.run_checked ~faults ~reverse_faults ~recorder
+             cfg proto)
+      end
+    in
+    write ();
+    Format.printf "%s: %d events, %d violation(s)%s@." out
+      (Trace.Recorder.events_recorded recorder)
+      (List.length violations)
+      (if Trace.Recorder.flight recorder <> None then
+         Printf.sprintf "; flight dump in %s.flight.jsonl" out
+       else "");
+    List.iter
+      (fun v -> Format.printf "  %a@." Oracle.pp_violation v)
+      violations
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ out $ seed $ frames $ disaster)
+
+let trace_validate_cmd =
+  let doc = "Validate a JSONL trace against the event schema." in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let run file =
+    match Trace.Schema.validate_file file with
+    | Ok n ->
+        Format.printf "%s: ok, %d event(s)@." file n;
+        `Ok ()
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(ret (const run $ file))
+
+let trace_summary_cmd =
+  let doc =
+    "Recompute the counters and timing distributions of a JSONL trace \
+     and print them as JSON (same shape as the .metrics.json sidecar)."
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let run file =
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> `Error (false, e)
+    | content -> (
+        let metrics = Trace.Metrics.create () in
+        let rec feed lineno = function
+          | [] -> Ok ()
+          | "" :: rest when List.for_all (String.equal "") rest -> Ok ()
+          | line :: rest -> (
+              match Trace.Event.of_line line with
+              | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+              | Ok ev ->
+                  Trace.Metrics.observe metrics ev;
+                  feed (lineno + 1) rest)
+        in
+        match feed 1 (String.split_on_char '\n' content) with
+        | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+        | Ok () ->
+            print_endline
+              (Bench_report.Json.to_string ~indent:2
+                 (Trace.Metrics.to_json metrics));
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(ret (const run $ file))
+
+let trace_cmd =
+  let doc = "Trace capture, validation and summarisation." in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_run_cmd; trace_validate_cmd; trace_summary_cmd ]
 
 let () =
   let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in
   let info = Cmd.info "lams_dlc_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sim_cmd; experiments_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; sim_cmd; experiments_cmd; trace_cmd ]))

@@ -27,12 +27,9 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
-(* Shortest decimal string that round-trips the float. *)
-let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else
-    let s = Printf.sprintf "%.15g" f in
-    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+(* One float emitter for the whole repo: Stats.Jsonstr.float_repr is the
+   shortest round-tripping decimal, with non-finite values as "null". *)
+let float_repr = Stats.Jsonstr.float_repr
 
 let to_string ?(indent = 0) v =
   let buf = Buffer.create 256 in
@@ -46,9 +43,7 @@ let to_string ?(indent = 0) v =
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        if Float.is_finite f then Buffer.add_string buf (float_repr f)
-        else Buffer.add_string buf "null"
+    | Float f -> Buffer.add_string buf (float_repr f)
     | String s -> escape_to buf s
     | List [] -> Buffer.add_string buf "[]"
     | List items ->

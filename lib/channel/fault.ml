@@ -55,6 +55,7 @@ type t = {
   mutable c_count : int;  (* control frames classified so far *)
   mutable hits : int;
   mutable log : (float * string) list;  (* newest first *)
+  mutable observer : (now:float -> action -> Frame.Wire.t -> unit) option;
 }
 
 let compile spec =
@@ -70,7 +71,9 @@ let compile spec =
         check "p_control" p_control;
         Random { rng = Sim.Rng.create ~seed; p_iframe; p_control; window }
   in
-  { mode; spec; i_count = 0; c_count = 0; hits = 0; log = [] }
+  { mode; spec; i_count = 0; c_count = 0; hits = 0; log = []; observer = None }
+
+let set_observer t f = t.observer <- Some f
 
 let of_rules rules = compile (Rules rules)
 
@@ -114,7 +117,8 @@ let record t ~now action frame =
   t.log <-
     ( now,
       Format.asprintf "%s %a" (action_name action) Frame.Wire.pp frame )
-    :: t.log
+    :: t.log;
+  match t.observer with None -> () | Some f -> f ~now action frame
 
 let decision t ~now frame =
   let is_iframe = not (Frame.Wire.is_control frame) in

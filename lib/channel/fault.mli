@@ -68,3 +68,12 @@ val log : t -> (float * string) list
     shrinking failing schedules. *)
 
 val describe : t -> string
+(** Stable one-line description of the spec — deterministic across runs,
+    so it can seed content-addressed trace file names. *)
+
+val action_name : action -> string
+
+val set_observer : t -> (now:float -> action -> Frame.Wire.t -> unit) -> unit
+(** Fires synchronously whenever this script affects a frame (the same
+    moments {!log} records), letting a tracer interleave fault hits with
+    protocol events. One observer per script; later calls replace. *)

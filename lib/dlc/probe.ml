@@ -7,6 +7,13 @@ type event =
   | Recovery_started
   | Recovery_completed
   | Failure
+  | Cp_emitted of {
+      cp_seq : int;
+      next_expected : int;
+      enforced : bool;
+      stop_go : bool;
+      naks : int list;
+    }
 
 let event_name = function
   | Offered _ -> "offered"
@@ -18,6 +25,8 @@ let event_name = function
   | Recovery_started -> "recovery-started"
   | Recovery_completed -> "recovery-completed"
   | Failure -> "failure"
+  | Cp_emitted { naks = []; _ } -> "cp"
+  | Cp_emitted _ -> "cp-nak"
 
 type t = { mutable handlers : (now:float -> event -> unit) list }
 

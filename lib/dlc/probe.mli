@@ -26,6 +26,20 @@ type event =
   | Recovery_started  (** sender began enforced/timeout recovery *)
   | Recovery_completed
   | Failure  (** link declared failed *)
+  | Cp_emitted of {
+      cp_seq : int;
+      next_expected : int;
+      enforced : bool;
+      stop_go : bool;
+      naks : int list;
+    }
+      (** the receiver issued acknowledgement state: a LAMS checkpoint
+          (possibly a Check-Point-NAK or Enforced-NAK), an NBDT status
+          report, or an HDLC supervisory frame ([cp_seq] is then an
+          emission ordinal, [next_expected] the N(R), and [naks] the
+          rejected number for REJ/SREJ). Emitted at creation, before the
+          frame enters the reverse link, so observers see the receiver's
+          decision upstream of any channel loss. *)
 
 val event_name : event -> string
 

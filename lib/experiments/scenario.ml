@@ -102,7 +102,39 @@ let lams_holding_bound cfg ~params =
   +. (65536. /. cfg.data_rate_bps)
   +. 1e-3
 
-let run_watched ?faults ?reverse_faults ~watch cfg protocol =
+let proto_tag = function Lams _ -> "lams" | Hdlc _ -> "hdlc"
+
+(* Pins down everything that shapes a run's event stream. Two tasks with
+   equal fingerprints (and seeds) produce byte-identical traces, so the
+   content-addressed file name makes concurrent capture order-blind. *)
+let trace_fingerprint ?faults ?reverse_faults ~watch cfg protocol =
+  let fault_desc = function
+    | None -> "-"
+    | Some spec -> Channel.Fault.describe (Channel.Fault.compile spec)
+  in
+  String.concat "|"
+    [
+      Digest.to_hex (Digest.string (Marshal.to_string (cfg, protocol) []));
+      fault_desc faults;
+      fault_desc reverse_faults;
+      string_of_bool watch;
+    ]
+
+let run_watched ?faults ?reverse_faults ?recorder ~watch cfg protocol =
+  (* with no explicit recorder, a process-wide Trace.Config enables
+     capture to content-addressed files in its directory *)
+  let capture =
+    match (recorder, Trace.Config.get ()) with
+    | Some _, _ | None, None -> None
+    | None, Some _ ->
+        Trace.Capture.start ~proto:(proto_tag protocol) ~seed:cfg.seed
+          ~fingerprint:
+            (trace_fingerprint ?faults ?reverse_faults ~watch cfg protocol)
+          ()
+  in
+  let recorder =
+    match capture with Some c -> Some (Trace.Capture.recorder c) | None -> recorder
+  in
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create ~seed:cfg.seed in
   let iframe_error, cframe_error = error_models cfg ~rng in
@@ -110,57 +142,64 @@ let run_watched ?faults ?reverse_faults ~watch cfg protocol =
     Channel.Duplex.create_static engine ~rng ~distance_m:cfg.distance_m
       ~data_rate_bps:cfg.data_rate_bps ~iframe_error ~cframe_error
   in
-  let session, span_peak_fn, oracle =
+  let session, span_peak_fn, probe, oracle =
     match protocol with
     | Lams params ->
         let s = Lams_dlc.Session.create engine ~params ~duplex in
         let oracle =
           if not watch then None
-          else begin
-            let o =
-              Oracle.create ~name:"scenario-lams-oracle"
-                (Oracle.Lams
-                   {
-                     c_depth = params.Lams_dlc.Params.c_depth;
-                     holding_bound = lams_holding_bound cfg ~params;
-                   })
-            in
-            Oracle.attach o ~probe:(Lams_dlc.Session.probe s) ~duplex;
-            Some o
-          end
+          else
+            Some
+              (Oracle.create ~name:"scenario-lams-oracle"
+                 (Oracle.Lams
+                    {
+                      c_depth = params.Lams_dlc.Params.c_depth;
+                      holding_bound = lams_holding_bound cfg ~params;
+                    }))
         in
         ( Lams_dlc.Session.as_dlc s,
           (fun () ->
             Lams_dlc.Sender.outstanding_span_peak (Lams_dlc.Session.sender s)),
+          Lams_dlc.Session.probe s,
           oracle )
     | Hdlc params ->
         let s = Hdlc.Session.create engine ~params ~duplex in
         let oracle =
           if not watch then None
-          else begin
-            let o =
-              Oracle.create ~name:"scenario-hdlc-oracle"
-                (Oracle.Hdlc
-                   {
-                     window = params.Hdlc.Params.window;
-                     seq_bits = params.Hdlc.Params.seq_bits;
-                   })
-            in
-            Oracle.attach o ~probe:(Hdlc.Session.probe s) ~duplex;
-            Some o
-          end
+          else
+            Some
+              (Oracle.create ~name:"scenario-hdlc-oracle"
+                 (Oracle.Hdlc
+                    {
+                      window = params.Hdlc.Params.window;
+                      seq_bits = params.Hdlc.Params.seq_bits;
+                    }))
         in
-        (Hdlc.Session.as_dlc s, (fun () -> 0), oracle)
+        (Hdlc.Session.as_dlc s, (fun () -> 0), Hdlc.Session.probe s, oracle)
+  in
+  (* recorder first, oracle second: a probe event and the violation it
+     triggers then land in the ring in causal order *)
+  (match recorder with Some r -> Trace.Recorder.attach_probe r probe | None -> ());
+  (match oracle with
+  | Some o ->
+      Oracle.attach o ~probe ~duplex;
+      (match recorder with
+      | Some r -> Trace.Recorder.attach_oracle r o
+      | None -> ())
+  | None -> ());
+  let install_fault spec link ~name =
+    let f = Channel.Fault.compile spec in
+    (match recorder with
+    | Some r -> Trace.Recorder.attach_fault r ~link:name f
+    | None -> ());
+    Channel.Fault.install f link
   in
   (match faults with
-  | Some spec ->
-      Channel.Fault.install (Channel.Fault.compile spec)
-        duplex.Channel.Duplex.forward
+  | Some spec -> install_fault spec duplex.Channel.Duplex.forward ~name:"forward"
   | None -> ());
   (match reverse_faults with
   | Some spec ->
-      Channel.Fault.install (Channel.Fault.compile spec)
-        duplex.Channel.Duplex.reverse
+      install_fault spec duplex.Channel.Duplex.reverse ~name:"reverse"
   | None -> ());
   (match cfg.blackout with
   | Some (start, len) ->
@@ -224,12 +263,13 @@ let run_watched ?faults ?reverse_faults ~watch cfg protocol =
         Oracle.finalize o;
         Oracle.violations o
   in
+  (match capture with Some c -> Trace.Capture.finish c | None -> ());
   (result, violations)
 
-let run cfg protocol = fst (run_watched ~watch:false cfg protocol)
+let run ?recorder cfg protocol = fst (run_watched ?recorder ~watch:false cfg protocol)
 
-let run_checked ?faults ?reverse_faults cfg protocol =
-  run_watched ?faults ?reverse_faults ~watch:true cfg protocol
+let run_checked ?faults ?reverse_faults ?recorder cfg protocol =
+  run_watched ?faults ?reverse_faults ?recorder ~watch:true cfg protocol
 
 (* --- matrix points ------------------------------------------------------ *)
 

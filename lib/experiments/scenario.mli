@@ -44,11 +44,20 @@ type result = {
   efficiency : float;  (** unique deliveries * t_f / elapsed *)
 }
 
-val run : config -> protocol -> result
+val run : ?recorder:Trace.Recorder.t -> config -> protocol -> result
+(** [recorder], when given, is subscribed to the session's probe (and
+    fault scripts) for the whole run — the caller then owns writing any
+    files out. When no recorder is passed and {!Trace.Config.set} is
+    active, the run captures itself to content-addressed
+    [.jsonl] / [.metrics.json] (and [.flight.jsonl] on violation) files
+    in the configured directory; the file name digests the full
+    configuration, so per-replicate traces are byte-stable whatever the
+    worker count. *)
 
 val run_checked :
   ?faults:Channel.Fault.spec ->
   ?reverse_faults:Channel.Fault.spec ->
+  ?recorder:Trace.Recorder.t ->
   config ->
   protocol ->
   result * Oracle.violation list
@@ -56,7 +65,10 @@ val run_checked :
     subscribed to the session's probe and reverse link for the whole
     run, and optional {!Channel.Fault} scripts compiled onto the
     forward / reverse links. Violations are returned (finalized), not
-    raised, so replicated sweeps can count them as a metric. *)
+    raised, so replicated sweeps can count them as a metric. A
+    [recorder] is attached to the probe {e before} the oracle and to the
+    oracle itself, so its flight dump freezes at the first violation
+    with the offending events still in the ring. *)
 
 val matrix_metrics : result -> (string * float) list
 (** Uniform per-replicate metric vector (efficiency, deliveries, loss,

@@ -18,6 +18,7 @@ type t = {
   mutable rej_armed : bool;  (* GBN: one REJ per gap event *)
   mutable on_deliver : (payload:string -> seq:int -> unit) option;
   mutable stopped : bool;
+  mutable controls_emitted : int;  (* supervisory-frame emission ordinal *)
 }
 
 let create engine ~params ~reverse ~metrics ~probe =
@@ -35,6 +36,7 @@ let create engine ~params ~reverse ~metrics ~probe =
     rej_armed = true;
     on_deliver = None;
     stopped = false;
+    controls_emitted = 0;
   }
 
 let set_on_deliver t f = t.on_deliver <- Some f
@@ -47,10 +49,23 @@ let stop t = t.stopped <- true
 
 let send_control t ~kind ~nr ~pf =
   t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
-  (match kind with
-  | Frame.Hframe.Rej | Frame.Hframe.Srej ->
-      t.metrics.Dlc.Metrics.naks_sent <- t.metrics.Dlc.Metrics.naks_sent + 1
-  | Frame.Hframe.Rr -> ());
+  let naks =
+    match kind with
+    | Frame.Hframe.Rej | Frame.Hframe.Srej ->
+        t.metrics.Dlc.Metrics.naks_sent <- t.metrics.Dlc.Metrics.naks_sent + 1;
+        [ nr ]
+    | Frame.Hframe.Rr -> []
+  in
+  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+    (Dlc.Probe.Cp_emitted
+       {
+         cp_seq = t.controls_emitted;
+         next_expected = nr;
+         enforced = false;
+         stop_go = false;
+         naks;
+       });
+  t.controls_emitted <- t.controls_emitted + 1;
   Channel.Link.send t.reverse
     (Frame.Wire.Hdlc_control (Frame.Hframe.create ~kind ~nr ~pf))
 

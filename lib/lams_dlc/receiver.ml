@@ -69,16 +69,25 @@ let enqueue t =
 let cumulative_naks t = List.fold_left Int_set.union Int_set.empty t.history
 
 let send_checkpoint t ~enforced ~naks =
+  let now = Sim.Engine.now t.engine in
+  let naks = Int_set.elements naks in
   let cp =
-    Frame.Cframe.checkpoint ~cp_seq:t.cp_seq
-      ~issue_time:(Sim.Engine.now t.engine)
-      ~stop_go:t.stop_state ~enforced ~next_expected:t.next_expected
-      ~naks:(Int_set.elements naks)
+    Frame.Cframe.checkpoint ~cp_seq:t.cp_seq ~issue_time:now
+      ~stop_go:t.stop_state ~enforced ~next_expected:t.next_expected ~naks
   in
+  Dlc.Probe.emit t.probe ~now
+    (Dlc.Probe.Cp_emitted
+       {
+         cp_seq = t.cp_seq;
+         next_expected = t.next_expected;
+         enforced;
+         stop_go = t.stop_state;
+         naks;
+       });
   t.cp_seq <- t.cp_seq + 1;
   t.checkpoints_sent <- t.checkpoints_sent + 1;
   t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
-  if not (Int_set.is_empty naks) then
+  if naks <> [] then
     t.metrics.Dlc.Metrics.naks_sent <- t.metrics.Dlc.Metrics.naks_sent + 1;
   Channel.Link.send t.reverse (Frame.Wire.Control cp)
 

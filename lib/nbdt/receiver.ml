@@ -36,11 +36,20 @@ let send_report t =
   let advertised =
     match overflow with None -> t.frontier | Some first_unreported -> first_unreported
   in
+  let now = Sim.Engine.now t.engine in
   let report =
-    Frame.Cframe.checkpoint ~cp_seq:t.report_seq
-      ~issue_time:(Sim.Engine.now t.engine)
+    Frame.Cframe.checkpoint ~cp_seq:t.report_seq ~issue_time:now
       ~stop_go:false ~enforced:false ~next_expected:advertised ~naks
   in
+  Dlc.Probe.emit t.probe ~now
+    (Dlc.Probe.Cp_emitted
+       {
+         cp_seq = t.report_seq;
+         next_expected = advertised;
+         enforced = false;
+         stop_go = false;
+         naks;
+       });
   t.report_seq <- t.report_seq + 1;
   t.reports_sent <- t.reports_sent + 1;
   t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;

@@ -42,14 +42,16 @@ type t = {
   mutable regular_cps : int;  (* regular checkpoints seen on reverse tx *)
   nak_runs : (int, nak_run) Hashtbl.t;
   mutable finalized : bool;
+  mutable on_violation : (violation -> unit) option;
 }
 
 let max_recorded = 200
 
 let violate t ~time invariant detail =
   t.violation_count <- t.violation_count + 1;
-  if t.violation_count <= max_recorded then
-    t.violations <- { time; invariant; detail } :: t.violations
+  let v = { time; invariant; detail } in
+  if t.violation_count <= max_recorded then t.violations <- v :: t.violations;
+  match t.on_violation with None -> () | Some f -> f v
 
 let create ?(name = "oracle") profile =
   {
@@ -72,7 +74,10 @@ let create ?(name = "oracle") profile =
     regular_cps = 0;
     nak_runs = Hashtbl.create 256;
     finalized = false;
+    on_violation = None;
   }
+
+let set_on_violation t f = t.on_violation <- Some f
 
 let find_or_add t payload =
   match Hashtbl.find_opt t.payloads payload with
@@ -251,6 +256,10 @@ let on_probe_event t ~now ev =
       (* an open recovery never completes; keep it open so late releases
          during drain stay exempt from the holding bound *)
       match t.recovery_open with None -> t.recovery_open <- Some now | _ -> ())
+  | Cp_emitted _ ->
+      (* checkpoint emission is checked on the reverse-link tap, which
+         sees the wire frame itself; the semantic event is for tracing *)
+      ()
 
 let observe t probe = Dlc.Probe.subscribe probe (fun ~now ev -> on_probe_event t ~now ev)
 

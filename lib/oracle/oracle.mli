@@ -52,6 +52,11 @@ type t
 
 val create : ?name:string -> profile -> t
 
+val set_on_violation : t -> (violation -> unit) -> unit
+(** Hook fired synchronously on {e every} violation (including those past
+    the recording cap), before control returns to the protocol. A trace
+    flight recorder uses this to snapshot its ring at the first fault. *)
+
 val observe : t -> Dlc.Probe.t -> unit
 (** Subscribe to a session's semantic events. *)
 

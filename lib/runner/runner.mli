@@ -13,7 +13,13 @@
     (each builds its own engine and RNG from its derived seed) and the
     fold happens in the fixed task order after all tasks complete, so
     [~jobs:1] and [~jobs:n] produce identical results — byte-identical
-    JSON once {!Bench_report.Matrix_report} meta is stripped. *)
+    JSON once {!Bench_report.Matrix_report} meta is stripped.
+
+    Trace capture rides on the same contract: when the CLI activates
+    [Trace.Config] before [run], each replicate writes its JSONL trace
+    to a file content-addressed by the task's own configuration (never
+    by worker or order), so the trace directory is also byte-identical
+    for any [jobs] value. *)
 
 module Pool : module type of Pool
 (** The worker pool backing {!run}, re-exported for callers that need

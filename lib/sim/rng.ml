@@ -71,17 +71,38 @@ let binomial t ~n ~p =
     !c
   end
   else begin
-    (* Normal approximation with continuity correction, clamped to the
-       support. Good enough for frame-error sampling where n is the number
-       of bits (thousands) and only the error/no-error distinction and
-       rough counts matter. *)
-    let mean = float_of_int n *. p in
-    let sd = sqrt (float_of_int n *. p *. (1. -. p)) in
-    (* Box-Muller *)
-    let u1 = 1. -. unit_float t and u2 = unit_float t in
-    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
-    let x = int_of_float (Float.round (mean +. (sd *. z))) in
-    max 0 (min n x)
+    let q = Float.min p (1. -. p) in
+    if float_of_int n *. q <= 30. then begin
+      (* Direct CDF inversion on the rarer outcome. The normal
+         approximation is catastrophically wrong in this regime: at
+         n*p << 1 (a 12,000-bit frame at BER 1e-7, say) it rounds every
+         draw to zero and the simulated frame-error rate collapses to 0
+         instead of ~n*p. Inversion is exact, and with n*q <= 30 the
+         walk terminates after a handful of pmf terms. *)
+      let u = ref (unit_float t) in
+      let pmf = ref (exp (float_of_int n *. log1p (-.q))) in
+      let ratio = q /. (1. -. q) in
+      let k = ref 0 in
+      while !u >= !pmf && !k < n do
+        u := !u -. !pmf;
+        pmf := !pmf *. (float_of_int (n - !k) /. float_of_int (!k + 1)) *. ratio;
+        incr k
+      done;
+      if p <= 0.5 then !k else n - !k
+    end
+    else begin
+      (* Normal approximation with continuity correction, clamped to the
+         support. Fine when the distribution is well away from the edges
+         of the support (n*p and n*(1-p) both large), which the branch
+         above guarantees. *)
+      let mean = float_of_int n *. p in
+      let sd = sqrt (float_of_int n *. p *. (1. -. p)) in
+      (* Box-Muller *)
+      let u1 = 1. -. unit_float t and u2 = unit_float t in
+      let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+      let x = int_of_float (Float.round (mean +. (sd *. z))) in
+      max 0 (min n x)
+    end
   end
 
 (* Path-based seed derivation. Each component is absorbed into the

@@ -66,8 +66,10 @@ val geometric : t -> p:float -> int
 
 val binomial : t -> n:int -> p:float -> int
 (** Number of successes in [n] Bernoulli(p) trials. Exact (O(n)) for small
-    [n], normal approximation above an internal threshold; suitable for
-    sampling bit-error counts in long frames. *)
+    [n]; for large [n], exact CDF inversion when [n * min p (1-p)] is small
+    (the low-BER regime where a normal approximation would round every
+    draw to 0) and a normal approximation otherwise. Suitable for sampling
+    bit-error counts in long frames at any BER. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

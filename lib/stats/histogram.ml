@@ -33,6 +33,8 @@ let add t x =
 
 let count t = t.total
 
+let bins t = Array.length t.counts
+
 let underflow t = t.underflow
 
 let overflow t = t.overflow

@@ -15,6 +15,9 @@ val add : t -> float -> unit
 val count : t -> int
 (** Total observations, including under/overflow. *)
 
+val bins : t -> int
+(** Number of regular bins (the [bins] passed to {!create}). *)
+
 val underflow : t -> int
 
 val overflow : t -> int

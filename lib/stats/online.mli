@@ -33,8 +33,11 @@ val max : t -> float
 val sum : t -> float
 
 val ci95_halfwidth : t -> float
-(** Half-width of a normal-approximation 95% confidence interval for the
-    mean ([1.96 * stddev / sqrt n]); [0.] with fewer than two samples. *)
+(** Half-width of a Student-t 95% confidence interval for the mean
+    ([t_{0.975, n-1} * stddev / sqrt n]); [0.] with fewer than two
+    samples. The critical value is exact for [n - 1 <= 30] and tapers
+    stepwise to the normal 1.96 for large [n], so small replicate counts
+    no longer get normal-width (over-confident) intervals. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable one-line rendering: count, mean ± ci, min, max. *)

@@ -1,0 +1,34 @@
+type t = { recorder : Recorder.t; buf : Buffer.t; base : string }
+
+let start ?config ~proto ~seed ~fingerprint () =
+  let config = match config with Some c -> Some c | None -> Config.get () in
+  match config with
+  | None -> None
+  | Some c ->
+      let base =
+        Filename.concat c.Config.dir (Config.basename ~proto ~seed ~fingerprint)
+      in
+      let recorder =
+        Recorder.create ~capacity:c.Config.capacity
+          ~name:(Filename.basename base) ()
+      in
+      let buf = Buffer.create 65536 in
+      Recorder.set_sink recorder (fun e ->
+          Buffer.add_string buf (Event.to_line e);
+          Buffer.add_char buf '\n');
+      Some { recorder; buf; base }
+
+let recorder t = t.recorder
+
+let base t = t.base
+
+let finish t =
+  Config.write_atomic ~path:(t.base ^ ".jsonl") (Buffer.contents t.buf);
+  Config.write_atomic
+    ~path:(t.base ^ ".metrics.json")
+    (Bench_report.Json.to_string ~indent:2
+       (Metrics.to_json (Recorder.metrics t.recorder))
+    ^ "\n");
+  match Recorder.flight_jsonl t.recorder with
+  | Some dump -> Config.write_atomic ~path:(t.base ^ ".flight.jsonl") dump
+  | None -> ()

@@ -1,0 +1,31 @@
+(** Capture one run's trace to content-addressed files.
+
+    Glue between a {!Recorder} and the process-wide {!Config}: [start]
+    returns [None] when no capture directory is configured, otherwise a
+    recorder whose full event stream is buffered; [finish] publishes
+
+    - [<base>.jsonl] — the full event stream,
+    - [<base>.metrics.json] — the {!Metrics} summary,
+    - [<base>.flight.jsonl] — the flight dump, when a violation froze one,
+
+    with [<base>] from {!Config.basename}, written atomically so
+    concurrent workers executing identical tasks can only ever publish
+    identical complete files. *)
+
+type t
+
+val start :
+  ?config:Config.t ->
+  proto:string ->
+  seed:int ->
+  fingerprint:string ->
+  unit ->
+  t option
+(** [config] defaults to {!Config.get}; [None] when that is unset. *)
+
+val recorder : t -> Recorder.t
+
+val base : t -> string
+(** Full path prefix the files will be written under. *)
+
+val finish : t -> unit

@@ -1,0 +1,161 @@
+module Json = Bench_report.Json
+
+type kind =
+  | Probe of Dlc.Probe.event
+  | Fault of { link : string; action : string; frame : string }
+  | Violation of { invariant : string; detail : string }
+
+type t = { i : int; time : float; kind : kind }
+
+let name e =
+  match e.kind with
+  | Probe ev -> Dlc.Probe.event_name ev
+  | Fault _ -> "fault"
+  | Violation _ -> "violation"
+
+let payload_label p = if String.length p <= 16 then p else String.sub p 0 16
+
+let payload_fields payload =
+  [
+    ("payload", Json.String (payload_label payload));
+    ("len", Json.Int (String.length payload));
+  ]
+
+let kind_fields = function
+  | Probe (Dlc.Probe.Offered { payload }) -> payload_fields payload
+  | Probe (Dlc.Probe.Tx { seq; payload; retx = _ })
+  | Probe (Dlc.Probe.Released { seq; payload })
+  | Probe (Dlc.Probe.Requeued { seq; payload })
+  | Probe (Dlc.Probe.Delivered { seq; payload }) ->
+      ("seq", Json.Int seq) :: payload_fields payload
+  | Probe Dlc.Probe.Recovery_started
+  | Probe Dlc.Probe.Recovery_completed
+  | Probe Dlc.Probe.Failure -> []
+  | Probe (Dlc.Probe.Cp_emitted { cp_seq; next_expected; enforced; stop_go; naks })
+    ->
+      [
+        ("cp_seq", Json.Int cp_seq);
+        ("next_expected", Json.Int next_expected);
+        ("enforced", Json.Bool enforced);
+        ("stop_go", Json.Bool stop_go);
+        ("naks", Json.List (List.map (fun n -> Json.Int n) naks));
+      ]
+  | Fault { link; action; frame } ->
+      [
+        ("link", Json.String link);
+        ("action", Json.String action);
+        ("frame", Json.String frame);
+      ]
+  | Violation { invariant; detail } ->
+      [
+        ("invariant", Json.String invariant);
+        ("detail", Json.String detail);
+      ]
+
+let to_json e =
+  Json.Obj
+    (("i", Json.Int e.i)
+    :: ("t", Json.Float e.time)
+    :: ("ev", Json.String (name e))
+    :: kind_fields e.kind)
+
+let to_line e = Json.to_string ~indent:0 (to_json e)
+
+(* --- decoding ----------------------------------------------------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let field j key conv =
+  match Json.member key j with
+  | None -> Error (Printf.sprintf "missing field %S" key)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" key))
+
+let int_field j key = field j key Json.to_int
+
+let str_field j key = field j key Json.to_str
+
+let bool_field j key =
+  field j key (function Json.Bool b -> Some b | _ -> None)
+
+let float_field j key = field j key Json.to_float
+
+let seq_payload j mk =
+  let* seq = int_field j "seq" in
+  let* payload = str_field j "payload" in
+  let* _len = int_field j "len" in
+  Ok (mk ~seq ~payload)
+
+let kind_of_json j = function
+  | "offered" ->
+      let* payload = str_field j "payload" in
+      let* _len = int_field j "len" in
+      Ok (Probe (Dlc.Probe.Offered { payload }))
+  | "tx" | "retx" ->
+      let retx = Json.member "ev" j = Some (Json.String "retx") in
+      seq_payload j (fun ~seq ~payload ->
+          Probe (Dlc.Probe.Tx { seq; payload; retx }))
+  | "released" ->
+      seq_payload j (fun ~seq ~payload ->
+          Probe (Dlc.Probe.Released { seq; payload }))
+  | "requeued" ->
+      seq_payload j (fun ~seq ~payload ->
+          Probe (Dlc.Probe.Requeued { seq; payload }))
+  | "delivered" ->
+      seq_payload j (fun ~seq ~payload ->
+          Probe (Dlc.Probe.Delivered { seq; payload }))
+  | "recovery-started" -> Ok (Probe Dlc.Probe.Recovery_started)
+  | "recovery-completed" -> Ok (Probe Dlc.Probe.Recovery_completed)
+  | "failure" -> Ok (Probe Dlc.Probe.Failure)
+  | "cp" | "cp-nak" ->
+      let* cp_seq = int_field j "cp_seq" in
+      let* next_expected = int_field j "next_expected" in
+      let* enforced = bool_field j "enforced" in
+      let* stop_go = bool_field j "stop_go" in
+      let* naks =
+        field j "naks" (fun v ->
+            match Json.to_list v with
+            | None -> None
+            | Some items ->
+                let rec ints acc = function
+                  | [] -> Some (List.rev acc)
+                  | Json.Int n :: rest -> ints (n :: acc) rest
+                  | _ -> None
+                in
+                ints [] items)
+      in
+      Ok
+        (Probe
+           (Dlc.Probe.Cp_emitted
+              { cp_seq; next_expected; enforced; stop_go; naks }))
+  | "fault" ->
+      let* link = str_field j "link" in
+      let* action = str_field j "action" in
+      let* frame = str_field j "frame" in
+      Ok (Fault { link; action; frame })
+  | "violation" ->
+      let* invariant = str_field j "invariant" in
+      let* detail = str_field j "detail" in
+      Ok (Violation { invariant; detail })
+  | other -> Error (Printf.sprintf "unknown event tag %S" other)
+
+let of_json j =
+  let* i = int_field j "i" in
+  let* time = float_field j "t" in
+  let* ev = str_field j "ev" in
+  let* kind = kind_of_json j ev in
+  if i < 0 then Error "negative event index"
+  else if not (Float.is_finite time) then Error "non-finite timestamp"
+  else
+    let e = { i; time; kind } in
+    (* the tag must agree with the payload it claims to carry *)
+    if name e <> ev then
+      Error (Printf.sprintf "tag %S does not match fields (expected %S)" ev (name e))
+    else Ok e
+
+let of_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> of_json j

@@ -1,0 +1,42 @@
+(** One timestamped trace record and its canonical JSONL form.
+
+    A trace is a stream of these, one JSON object per line, byte-stable
+    for a given (seed, configuration, fault script) whatever the worker
+    count: every float goes through {!Stats.Jsonstr.float_repr} and the
+    field order is fixed. Three sources feed the stream: the semantic
+    {!Dlc.Probe} bus, {!Channel.Fault} hit observers, and
+    {!Oracle.set_on_violation}. *)
+
+type kind =
+  | Probe of Dlc.Probe.event
+  | Fault of { link : string; action : string; frame : string }
+      (** a fault script affected a frame; [link] is ["forward"] or
+          ["reverse"], [frame] a stable description of the victim *)
+  | Violation of { invariant : string; detail : string }
+
+type t = {
+  i : int;  (** monotone index since recorder creation — survives ring
+                wrap, so a flight dump shows exactly what was cut *)
+  time : float;  (** simulated seconds *)
+  kind : kind;
+}
+
+val name : t -> string
+(** Stable event tag: {!Dlc.Probe.event_name} for probe events,
+    ["fault"] / ["violation"] otherwise. *)
+
+val payload_label : string -> string
+(** First 16 bytes of a payload — enough to identify a frame built by
+    {!Workload.Arrivals.default_payload} without dumping the kilobyte. *)
+
+val to_json : t -> Bench_report.Json.t
+
+val to_line : t -> string
+(** Single-line JSON, no trailing newline. *)
+
+val of_json : Bench_report.Json.t -> (t, string) result
+(** Inverse of {!to_json} up to payload truncation (payloads come back
+    as their labels). This is the schema check: every required field of
+    the event's kind must be present and well-typed. *)
+
+val of_line : string -> (t, string) result

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  capacity : int;
+  ring : Event.t option array;
+  mutable next : int;  (* monotone event index *)
+  mutable sink : (Event.t -> unit) option;
+  mutable flight : Event.t list option;
+  mutable violations : int;
+  metrics : Metrics.t;
+}
+
+let create ?(capacity = 512) ~name () =
+  if capacity <= 0 then invalid_arg "Recorder.create: capacity must be positive";
+  {
+    name;
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    sink = None;
+    flight = None;
+    violations = 0;
+    metrics = Metrics.create ();
+  }
+
+let name t = t.name
+
+let capacity t = t.capacity
+
+let set_sink t f = t.sink <- Some f
+
+let ring_events t =
+  (* oldest slot is [next mod capacity] once the ring has wrapped *)
+  let n = min t.next t.capacity in
+  List.init n (fun k ->
+      let i = t.next - n + k in
+      match t.ring.(i mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let record t ~now kind =
+  let e = { Event.i = t.next; time = now; kind } in
+  t.ring.(t.next mod t.capacity) <- Some e;
+  t.next <- t.next + 1;
+  Metrics.observe t.metrics e;
+  (match kind with
+  | Event.Violation _ ->
+      t.violations <- t.violations + 1;
+      if t.flight = None then t.flight <- Some (ring_events t)
+  | _ -> ());
+  match t.sink with None -> () | Some f -> f e
+
+let attach_probe t probe =
+  Dlc.Probe.subscribe probe (fun ~now ev -> record t ~now (Event.Probe ev))
+
+let attach_fault t ~link fault =
+  Channel.Fault.set_observer fault (fun ~now action frame ->
+      record t ~now
+        (Event.Fault
+           {
+             link;
+             action = Channel.Fault.action_name action;
+             frame = Format.asprintf "%a" Frame.Wire.pp frame;
+           }))
+
+let attach_oracle t oracle =
+  Oracle.set_on_violation oracle (fun v ->
+      (* finalize-time violations carry no simulated instant (nan); -1
+         marks them while keeping every trace timestamp JSON-finite *)
+      let now = if Float.is_finite v.Oracle.time then v.Oracle.time else -1. in
+      record t ~now
+        (Event.Violation
+           { invariant = v.Oracle.invariant; detail = v.Oracle.detail }))
+
+let events_recorded t = t.next
+
+let flight t = t.flight
+
+let flight_jsonl t =
+  Option.map
+    (fun events ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun e ->
+          Buffer.add_string b (Event.to_line e);
+          Buffer.add_char b '\n')
+        events;
+      Buffer.contents b)
+    t.flight
+
+let violations t = t.violations
+
+let metrics t = t.metrics

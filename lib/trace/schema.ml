@@ -1,0 +1,32 @@
+let validate_line = Event.of_line
+
+let validate content =
+  let lines = String.split_on_char '\n' content in
+  let rec go lineno last_i count = function
+    | [] -> Ok count
+    | "" :: rest when List.for_all (String.equal "") rest ->
+        (* trailing newline(s) *)
+        Ok count
+    | line :: rest -> (
+        match validate_line line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok ev ->
+            if ev.Event.i <= last_i then
+              Error
+                (Printf.sprintf
+                   "line %d: event index %d not strictly increasing (previous \
+                    %d)"
+                   lineno ev.Event.i last_i)
+            else go (lineno + 1) ev.Event.i (count + 1) rest)
+  in
+  go 1 (-1) 0 lines
+
+let validate_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> validate content
+  | exception Sys_error e -> Error e

@@ -30,5 +30,6 @@ let () =
       ("integration", Test_integration.suite);
       ("bench-report", Test_bench_report.suite);
       ("runner", Test_runner.suite);
+      ("trace", Test_trace.suite);
       ("matrix-soak", Test_matrix_soak.suite);
     ]

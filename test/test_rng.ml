@@ -105,6 +105,65 @@ let test_binomial_large_mean () =
   if Float.abs (mean -. 100.) > 2. then
     Alcotest.failf "binomial(10000, 0.01) mean %g != 100" mean
 
+(* Low-np regime: a frame of n bits at bit-error rate p suffers at least
+   one error with probability 1 - (1-p)^n. The old normal approximation
+   rounded every draw to 0 here (mean << 0.5), silently zeroing the
+   simulated frame-error rate at BER <= 1e-6. These tests pin the
+   empirical FER against the closed form. *)
+let check_low_ber_fer ~seed ~bits ~ber ~samples ~tol =
+  let r = Sim.Rng.create ~seed in
+  let errored = ref 0 in
+  for _ = 1 to samples do
+    if Sim.Rng.binomial r ~n:bits ~p:ber > 0 then incr errored
+  done;
+  let fer = float_of_int !errored /. float_of_int samples in
+  let expected = 1. -. exp (float_of_int bits *. log1p (-.ber)) in
+  if Float.abs (fer -. expected) > tol *. expected then
+    Alcotest.failf "FER at BER %g: got %g, expected %g (tol %g%%)" ber fer
+      expected (100. *. tol)
+
+let test_binomial_low_ber_1e6 () =
+  (* 12,000-bit frame at BER 1e-6: expected FER ~1.19e-2. Over 1e6
+     samples the relative sampling noise is ~0.9%, so 10% is generous. *)
+  check_low_ber_fer ~seed:18 ~bits:12_000 ~ber:1e-6 ~samples:1_000_000
+    ~tol:0.1
+
+let test_binomial_low_ber_1e7 () =
+  (* The ISSUE acceptance case: BER 1e-7, expected FER ~1.2e-3, which
+     the normal approximation simulated as exactly 0. Relative sampling
+     noise over 1e6 draws is ~2.9%. *)
+  check_low_ber_fer ~seed:19 ~bits:12_000 ~ber:1e-7 ~samples:1_000_000
+    ~tol:0.1
+
+let test_binomial_inversion_mean () =
+  (* Mean of the inversion branch (n > 64, n*p small) against n*p. *)
+  let r = Sim.Rng.create ~seed:20 in
+  let trials = 200_000 in
+  let acc = ref 0 in
+  for _ = 1 to trials do
+    acc := !acc + Sim.Rng.binomial r ~n:10_000 ~p:1e-4
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  (* expected 1.0, sd per trial ~1, sd of the mean ~2.2e-3 *)
+  if Float.abs (mean -. 1.0) > 0.02 then
+    Alcotest.failf "binomial(10000, 1e-4) mean %g != 1" mean
+
+let test_binomial_high_p_symmetry () =
+  (* p > 0.5 with small n*(1-p) exercises the mirrored inversion path:
+     sample failures and return n - k. *)
+  let r = Sim.Rng.create ~seed:21 in
+  let trials = 100_000 in
+  let acc = ref 0 in
+  for _ = 1 to trials do
+    let k = Sim.Rng.binomial r ~n:1000 ~p:0.999 in
+    if k < 0 || k > 1000 then Alcotest.failf "out of range: %d" k;
+    acc := !acc + k
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  (* expected 999, sd per trial ~1, sd of the mean ~3e-3 *)
+  if Float.abs (mean -. 999.) > 0.05 then
+    Alcotest.failf "binomial(1000, 0.999) mean %g != 999" mean
+
 let test_binomial_edges () =
   let r = Sim.Rng.create ~seed:16 in
   Alcotest.(check int) "n=0" 0 (Sim.Rng.binomial r ~n:0 ~p:0.5);
@@ -170,6 +229,26 @@ let test_derive_stream_independence () =
       done)
     [ 0; 1; 2; 3 ]
 
+let prop_binomial_low_np_fer =
+  (* Random frame sizes and low BERs: the empirical frame-error rate must
+     track 1 - (1-p)^n. Filtered to expected hit counts >= 300 so the
+     25% tolerance is ~4 sigma of sampling noise. *)
+  QCheck2.Test.make ~name:"rng binomial low-np FER matches closed form"
+    ~count:10
+    QCheck2.Gen.(triple (int_range 100 16_384) (float_range 4.5 6.5) int)
+    (fun (bits, neg_exp, seed) ->
+      let ber = 10. ** -.neg_exp in
+      let expected = 1. -. exp (float_of_int bits *. log1p (-.ber)) in
+      QCheck2.assume (expected >= 0.005);
+      let samples = 60_000 in
+      let r = Sim.Rng.create ~seed in
+      let errored = ref 0 in
+      for _ = 1 to samples do
+        if Sim.Rng.binomial r ~n:bits ~p:ber > 0 then incr errored
+      done;
+      let fer = float_of_int !errored /. float_of_int samples in
+      Float.abs (fer -. expected) <= 0.25 *. expected)
+
 let prop_int_in_bounds =
   QCheck2.Test.make ~name:"rng int always in [0,n)" ~count:500
     QCheck2.Gen.(pair (int_range 1 1_000_000) int)
@@ -201,6 +280,14 @@ let suite =
     Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
     Alcotest.test_case "binomial small range" `Quick test_binomial_small_exact_range;
     Alcotest.test_case "binomial large mean" `Slow test_binomial_large_mean;
+    Alcotest.test_case "binomial FER at BER 1e-6" `Slow
+      test_binomial_low_ber_1e6;
+    Alcotest.test_case "binomial FER at BER 1e-7" `Slow
+      test_binomial_low_ber_1e7;
+    Alcotest.test_case "binomial inversion mean" `Slow
+      test_binomial_inversion_mean;
+    Alcotest.test_case "binomial high-p symmetry" `Slow
+      test_binomial_high_p_symmetry;
     Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
     Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
     Alcotest.test_case "derive determinism" `Quick test_derive_determinism;
@@ -209,6 +296,7 @@ let suite =
       test_derive_component_boundaries;
     Alcotest.test_case "derive stream independence" `Slow
       test_derive_stream_independence;
+    QCheck_alcotest.to_alcotest prop_binomial_low_np_fer;
     QCheck_alcotest.to_alcotest prop_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_float_in_bounds;
   ]

@@ -26,6 +26,30 @@ let test_online_single () =
   feq "mean" (Stats.Online.mean o) 42.;
   feq "variance" (Stats.Online.variance o) 0.
 
+let test_online_ci95_student_t () =
+  (* Small replicate counts must use Student-t critical values, not the
+     normal 1.96. For n samples with stddev s, halfwidth is
+     t_{0.975, n-1} * s / sqrt n. *)
+  let halfwidth data =
+    let o = Stats.Online.create () in
+    List.iter (Stats.Online.add o) data;
+    (Stats.Online.ci95_halfwidth o, Stats.Online.stddev o)
+  in
+  (* n=2, df=1: t = 12.706 *)
+  let hw, s = halfwidth [ 1.; 3. ] in
+  feq "n=2 halfwidth" ~eps:1e-6 hw (12.706 *. s /. sqrt 2.);
+  (* n=5, df=4: t = 2.776 *)
+  let hw, s = halfwidth [ 1.; 2.; 3.; 4.; 5. ] in
+  feq "n=5 halfwidth" ~eps:1e-6 hw (2.776 *. s /. sqrt 5.);
+  (* large n converges to the normal value *)
+  let o = Stats.Online.create () in
+  for i = 1 to 500 do
+    Stats.Online.add o (float_of_int (i mod 7))
+  done;
+  feq "n=500 halfwidth" ~eps:1e-6
+    (Stats.Online.ci95_halfwidth o)
+    (1.96 *. Stats.Online.stddev o /. sqrt 500.)
+
 let test_online_merge () =
   let a = Stats.Online.create () and b = Stats.Online.create () in
   let whole = Stats.Online.create () in
@@ -149,6 +173,8 @@ let suite =
     Alcotest.test_case "online basics" `Quick test_online_basics;
     Alcotest.test_case "online empty" `Quick test_online_empty;
     Alcotest.test_case "online single" `Quick test_online_single;
+    Alcotest.test_case "online ci95 student-t" `Quick
+      test_online_ci95_student_t;
     Alcotest.test_case "online merge" `Quick test_online_merge;
     Alcotest.test_case "online merge empty" `Quick test_online_merge_empty;
     QCheck_alcotest.to_alcotest prop_merge_equals_whole;
