@@ -25,6 +25,17 @@ let set_trace_config dir =
          { Trace.Config.dir; capacity = Trace.Config.default_capacity })
        dir)
 
+(* Shared --contact-plan flag (the `run` and `handover run` commands). *)
+let contact_plan_arg =
+  let doc =
+    "Contact plan file: '#' comments, an optional 'retarget <seconds>' \
+     line, then one 'window <start> <end>' line per contact (seconds, \
+     ordered, non-overlapping). Default: E21's scripted three-window \
+     plan."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "contact-plan" ] ~docv:"FILE" ~doc)
+
 let list_cmd =
   let doc = "List the available experiments (paper-evaluation reproductions)." in
   let run () =
@@ -57,8 +68,18 @@ let run_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run ids quick all jobs trace_dir =
+  let run ids quick all jobs plan_file trace_dir =
     set_trace_config trace_dir;
+    let plan =
+      match plan_file with
+      | None -> None
+      | Some path -> (
+          match Handover.Plan.load path with
+          | Ok p -> Some p
+          | Error e ->
+              Format.eprintf "%s@." e;
+              exit 2)
+    in
     let selected =
       if all || ids = [] then Experiments.All.all
       else
@@ -71,15 +92,28 @@ let run_cmd =
                 exit 2)
           ids
     in
-    if all || ids = [] then
-      Experiments.All.run_all ~quick ?jobs Format.std_formatter
-    else
-      List.iter
-        (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
-        selected
+    match plan with
+    | Some p ->
+        (* a plan override only affects E21; render sequentially so the
+           override doesn't have to cross worker domains *)
+        List.iter
+          (fun e ->
+            if e.Experiments.All.id = "e21" then
+              Experiments.E21_handover.run ~plan:p ~quick
+                Format.std_formatter
+            else e.Experiments.All.run ~quick Format.std_formatter)
+          selected
+    | None ->
+        if all || ids = [] then
+          Experiments.All.run_all ~quick ?jobs Format.std_formatter
+        else
+          List.iter
+            (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
+            selected
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ ids $ quick $ all $ jobs $ trace_dir_arg)
+    Term.(
+      const run $ ids $ quick $ all $ jobs $ contact_plan_arg $ trace_dir_arg)
 
 (* --- experiments: the replicated matrix runner ------------------------- *)
 
@@ -574,9 +608,224 @@ let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc)
     [ trace_run_cmd; trace_validate_cmd; trace_summary_cmd ]
 
+(* --- handover: contact-window session migration ------------------------ *)
+
+let outcome_json (o : Experiments.E21_handover.outcome) =
+  let buf = Buffer.create 512 in
+  let sep = ref "" in
+  let field k v =
+    Printf.bprintf buf "%s%s: %s" !sep (Stats.Jsonstr.escape k) v;
+    sep := ", "
+  in
+  let int k v = field k (string_of_int v) in
+  Buffer.add_char buf '{';
+  int "messages_completed" o.Experiments.E21_handover.messages_completed;
+  int "payloads" o.Experiments.E21_handover.payload_count;
+  int "duplicates_dropped" o.Experiments.E21_handover.duplicates_dropped;
+  int "windows_opened" o.Experiments.E21_handover.windows_opened;
+  int "sessions" o.Experiments.E21_handover.sessions;
+  int "mid_window_failures" o.Experiments.E21_handover.mid_window_failures;
+  int "carried_over" o.Experiments.E21_handover.carried_over;
+  int "suspicious_carried" o.Experiments.E21_handover.suspicious_carried;
+  int "retained" o.Experiments.E21_handover.retained;
+  int "link_transitions" o.Experiments.E21_handover.link_transitions;
+  field "completed" (string_of_bool o.Experiments.E21_handover.completed);
+  int "oracle_violations"
+    (List.length o.Experiments.E21_handover.violations);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let handover_run_cmd =
+  let doc =
+    "Run one multi-contact transfer (experiment E21's scenario): a \
+     handover manager migrates LAMS-DLC sessions across the contact \
+     plan's windows while the cross-handover oracle checks that no \
+     payload is lost, and none duplicated beyond its Suspicious budget. \
+     Exits non-zero on any oracle violation."
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let messages =
+    Arg.(value & opt int 10
+         & info [ "n"; "messages" ] ~docv:"N" ~doc:"Messages to transfer.")
+  in
+  let cut =
+    let phase =
+      Arg.enum
+        [
+          ("none", `None);
+          ("first-tx", `First_tx);
+          ("first-nak", `First_nak);
+          ("recovery", `Recovery);
+        ]
+    in
+    Arg.(value & opt phase `None
+         & info [ "cut" ] ~docv:"PHASE"
+             ~doc:"Cut the link once at an adversarial protocol phase: \
+                   $(b,first-tx) (mid-serialisation of the first frame), \
+                   $(b,first-nak) (between a NAK-bearing checkpoint and \
+                   its arrival) or $(b,recovery) (during enforced \
+                   recovery).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.")
+  in
+  let run plan_file seed messages cut json trace_dir =
+    set_trace_config trace_dir;
+    let plan =
+      match plan_file with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (Handover.Plan.load path)
+    in
+    match plan with
+    | Error e -> `Error (false, e)
+    | Ok plan ->
+        let base = Experiments.E21_handover.default_setup in
+        let setup =
+          {
+            base with
+            Experiments.E21_handover.plan =
+              Option.value plan ~default:base.Experiments.E21_handover.plan;
+            n_messages = messages;
+            cut;
+            drop_nth_iframe = (if cut = `None then None else Some 3);
+          }
+        in
+        let o = Experiments.E21_handover.run_transfer ~seed setup in
+        if json then print_endline (outcome_json o)
+        else begin
+          Format.printf
+            "messages %d/%d reassembled at sink; %d windows opened, %d \
+             sessions (%d mid-window failures); %d payloads carried over \
+             (%d suspicious), %d duplicates absorbed by resequencer, %d \
+             retained undelivered@."
+            o.Experiments.E21_handover.messages_completed messages
+            o.Experiments.E21_handover.windows_opened
+            o.Experiments.E21_handover.sessions
+            o.Experiments.E21_handover.mid_window_failures
+            o.Experiments.E21_handover.carried_over
+            o.Experiments.E21_handover.suspicious_carried
+            o.Experiments.E21_handover.duplicates_dropped
+            o.Experiments.E21_handover.retained;
+          List.iter
+            (fun v -> Format.printf "  %a@." Oracle.pp_violation v)
+            o.Experiments.E21_handover.violations
+        end;
+        if o.Experiments.E21_handover.violations <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ contact_plan_arg $ seed $ messages $ cut $ json
+       $ trace_dir_arg))
+
+let handover_soak_cmd =
+  let doc =
+    "Seed-pinned chaos soak: sweep random blackout schedules over E21's \
+     contact plan through the replicated matrix runner, the \
+     cross-handover oracle watching every run. Results (and any \
+     captured traces) are byte-identical for any $(b,--jobs) value. \
+     Exits non-zero when any schedule trips the oracle."
+  in
+  let schedules =
+    Arg.(value & opt int 50
+         & info [ "schedules" ] ~docv:"N"
+             ~doc:"Random blackout schedules to sweep.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker count (results identical for any value).")
+  in
+  let root_seed =
+    Arg.(value & opt int 1
+         & info [ "root-seed" ] ~docv:"SEED"
+             ~doc:"Root seed every schedule's task seed derives from.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the matrix report as JSON on stdout.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON to $(docv).")
+  in
+  let no_meta =
+    Arg.(value & flag
+         & info [ "no-meta" ]
+             ~doc:"Omit run metadata so two runs diff byte-for-byte.")
+  in
+  let run schedules jobs root_seed json out no_meta trace_dir =
+    set_trace_config trace_dir;
+    if schedules < 1 then begin
+      Format.eprintf "--schedules must be >= 1@.";
+      exit 2
+    end;
+    let jobs =
+      max 1
+        (match jobs with
+        | Some j -> j
+        | None -> Runner.Pool.default_jobs ())
+    in
+    let report = Experiments.E21_handover.soak ~jobs ~root_seed ~schedules () in
+    let report =
+      if no_meta then report
+      else
+        {
+          report with
+          Bench_report.Matrix_report.meta =
+            Some (Bench_report.Matrix_report.collect_meta ~jobs);
+        }
+    in
+    (match out with
+    | Some path ->
+        Bench_report.Matrix_report.write ~with_meta:(not no_meta) path report
+    | None -> ());
+    if json then
+      print_endline
+        (Bench_report.Json.to_string ~indent:2
+           (Bench_report.Matrix_report.to_json ~with_meta:(not no_meta) report))
+    else Experiments.Report.matrix Format.std_formatter report;
+    let violated =
+      List.concat_map
+        (fun e ->
+          List.filter_map
+            (fun p ->
+              match
+                List.assoc_opt "oracle_violations"
+                  p.Bench_report.Matrix_report.metrics
+              with
+              | Some s when s.Bench_report.Matrix_report.max > 0. ->
+                  Some p.Bench_report.Matrix_report.label
+              | _ -> None)
+            e.Bench_report.Matrix_report.points)
+        report.Bench_report.Matrix_report.experiments
+    in
+    if violated <> [] then begin
+      Format.eprintf "oracle violations in %d schedule(s): %s@."
+        (List.length violated)
+        (String.concat ", " violated);
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ schedules $ jobs $ root_seed $ json $ out $ no_meta
+      $ trace_dir_arg)
+
+let handover_cmd =
+  let doc =
+    "Contact-window handover: session migration across link lifetimes."
+  in
+  Cmd.group (Cmd.info "handover" ~doc) [ handover_run_cmd; handover_soak_cmd ]
+
 let () =
   let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in
   let info = Cmd.info "lams_dlc_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; sim_cmd; experiments_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; sim_cmd; experiments_cmd; trace_cmd; handover_cmd ]))

@@ -1,3 +1,11 @@
+type link_state = Link_up | Link_retargeting | Link_down | Link_failed
+
+let link_state_name = function
+  | Link_up -> "up"
+  | Link_retargeting -> "retargeting"
+  | Link_down -> "down"
+  | Link_failed -> "failed"
+
 type event =
   | Offered of { payload : string }
   | Tx of { seq : int; payload : string; retx : bool }
@@ -6,7 +14,8 @@ type event =
   | Delivered of { seq : int; payload : string }
   | Recovery_started
   | Recovery_completed
-  | Failure
+  | Failure_declared
+  | Link_transition of { state : link_state }
   | Cp_emitted of {
       cp_seq : int;
       next_expected : int;
@@ -24,7 +33,8 @@ let event_name = function
   | Delivered _ -> "delivered"
   | Recovery_started -> "recovery-started"
   | Recovery_completed -> "recovery-completed"
-  | Failure -> "failure"
+  | Failure_declared -> "failure-declared"
+  | Link_transition { state } -> "link-" ^ link_state_name state
   | Cp_emitted { naks = []; _ } -> "cp"
   | Cp_emitted _ -> "cp-nak"
 

@@ -11,6 +11,13 @@
     passed in); emitting to a probe with no subscribers costs one list
     match, so the instrumentation is always on. *)
 
+type link_state = Link_up | Link_retargeting | Link_down | Link_failed
+(** Lifecycle of the physical link as seen by the handover layer:
+    contact open, laser retargeting at contact start, inter-contact gap,
+    or permanently failed (schedule exhausted). *)
+
+val link_state_name : link_state -> string
+
 type event =
   | Offered of { payload : string }  (** accepted into the sending buffer *)
   | Tx of { seq : int; payload : string; retx : bool }
@@ -25,7 +32,14 @@ type event =
       (** receiver passed the payload to the upper layer *)
   | Recovery_started  (** sender began enforced/timeout recovery *)
   | Recovery_completed
-  | Failure  (** link declared failed *)
+  | Failure_declared
+      (** the sender exhausted its retry budget and declared the link
+          failed (all three variants publish this before invoking their
+          [set_on_failure] callback) *)
+  | Link_transition of { state : link_state }
+      (** the handover {!module:Lifecycle} moved the link to [state];
+          published on the session probe so flight recordings show
+          contact-window boundaries inline with protocol events *)
   | Cp_emitted of {
       cp_seq : int;
       next_expected : int;

@@ -127,6 +127,12 @@ let all =
       run = E20_multihop.run;
       points = E20_multihop.points;
     };
+    {
+      id = "e21";
+      name = E21_handover.name;
+      run = (fun ?quick ppf -> E21_handover.run ?quick ppf);
+      points = E21_handover.points;
+    };
   ]
 
 let find id =

@@ -1,0 +1,46 @@
+(** Session migration: what one LAMS-DLC session hands to the next.
+
+    At window close {!snapshot} stops the dying session, drains the
+    sender's unreleased buffer through
+    {!Lams_dlc.Sender.drain_unresolved} (the §3.3 handoff
+    classification) and photographs the receiver's outstanding-NAK
+    ledger. {!replay} feeds the drained payloads, oldest first, into a
+    fresh session's offer function — carryover is a {e buffer drain},
+    not a sequence-number transplant: retransmissions take new numbers
+    in the new session (§3.1), and the old NAK ledger is kept only for
+    accounting, since its numbers mean nothing to the successor. The
+    destination's {!Netstack.Resequencer} deduplicates whatever the
+    [`Suspicious] set duplicates. *)
+
+type t
+
+val snapshot : now:float -> Lams_dlc.Session.t -> t
+(** Stops both halves of the session (idempotent on an already-failed
+    sender) and captures its unresolved state; [now] is the simulated
+    snapshot instant. *)
+
+val closed_at : t -> float
+(** Simulated time of the snapshot. *)
+
+val unresolved : t -> Lams_dlc.Sender.unresolved list
+(** Oldest first. *)
+
+val payloads : t -> string list
+(** The unresolved payloads, oldest first. *)
+
+val nak_ledger : t -> int list
+(** The receiver's outstanding NAKs at close (old session's numbering),
+    ascending. *)
+
+val not_delivered : t -> int
+
+val suspicious : t -> int
+
+val is_empty : t -> bool
+
+val replay :
+  t -> offer:(string -> bool) -> on_suspicious:(string -> unit) -> int
+(** Offer every payload, oldest first, stopping at the first refusal;
+    returns how many were accepted. [on_suspicious] fires (before the
+    offer) for each [`Suspicious] payload so observers can budget the
+    permissible duplicates. *)

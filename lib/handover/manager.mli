@@ -1,0 +1,77 @@
+(** Session manager: one logical transfer across many link lifetimes.
+
+    Owns a {!Lifecycle} over one reused {!Channel.Duplex} and runs a
+    fresh {!Lams_dlc.Session} inside every contact window. Payloads
+    offered while the link is dark (or while the window's session buffer
+    is full) queue in a manager-level buffer; at window open the buffer
+    drains into the new session; at window close (or on a mid-window
+    failure declaration) a {!Carryover} snapshot drains the dying
+    session back to the {e front} of the buffer, preserving offer order.
+    A sender that declares failure while the window is still open gets a
+    successor session in the same window.
+
+    All sessions share one {!Dlc.Probe}, so a trace recorder or the
+    cross-handover {!Oracle} transfer check sees the whole journey as a
+    single stream. Do {e not} attach a per-session LAMS oracle profile
+    to it: wire numbering restarts with every session. *)
+
+type stats = {
+  mutable windows_opened : int;
+  mutable sessions_created : int;
+  mutable mid_window_failures : int;
+      (** sender failure declarations that forced a same-window successor *)
+  mutable carried_over : int;  (** payloads drained at session close *)
+  mutable suspicious_carried : int;
+  mutable delivered : int;
+}
+
+type t
+
+val create :
+  ?probe:Dlc.Probe.t ->
+  Sim.Engine.t ->
+  params:Lams_dlc.Params.t ->
+  duplex:Channel.Duplex.t ->
+  plan:Plan.t ->
+  t
+(** The plan's transitions are armed immediately; offer payloads before
+    or after {!Sim.Engine.run} starts, as suits the caller. *)
+
+val offer : t -> string -> bool
+(** [false] only once the lifecycle is [Failed]; otherwise the payload
+    is delivered to the current session or buffered. The manager-level
+    buffer is unbounded — it models the network layer's queue, whose
+    sizing is the router's concern, not the DLC's. *)
+
+val set_on_deliver : t -> (payload:string -> unit) -> unit
+(** Receiver-side upward deliveries, across all sessions. May see
+    duplicates of [`Suspicious] carryovers; dedup belongs to the
+    destination {!Netstack.Resequencer}. *)
+
+val set_on_suspicious_replay : t -> (string -> unit) -> unit
+(** Fires once per [`Suspicious] payload re-offered after a carryover —
+    the duplicate budget for observers like [Oracle.Transfer]. *)
+
+val lifecycle : t -> Lifecycle.t
+
+val probe : t -> Dlc.Probe.t
+
+val current_session : t -> Lams_dlc.Session.t option
+
+val last_carryover : t -> Carryover.t option
+
+val pending : t -> int
+(** Payloads in the manager-level buffer (not offered to any session). *)
+
+val session_backlog : t -> int
+
+val retained : t -> string list
+(** Every payload in the manager-level buffer, oldest first. A live
+    session's unresolved frames are not included — call {!stop} first to
+    fold them in for an exact end-of-run accounting. *)
+
+val stats : t -> stats
+
+val stop : t -> unit
+(** Cancel the lifecycle and snapshot any live session into the buffer;
+    after this {!retained} is exact and no further events fire. *)

@@ -54,6 +54,20 @@ let validate t =
 
 let checkpoint_timeout t = float_of_int t.c_depth *. t.w_cp
 
+(* Doubling backoff: attempt k waits 2^k checkpoint timeouts for the
+   Enforced-NAK before giving the Request-NAK another go. The shift is
+   clamped so absurd retry budgets cannot overflow to infinity. *)
+let request_nak_backoff t ~attempt =
+  if attempt < 0 then invalid_arg "request_nak_backoff: negative attempt";
+  Float.ldexp (checkpoint_timeout t) (min attempt 60)
+
+let failure_declaration_bound t ~response =
+  let rec sum k acc =
+    if k > t.request_nak_retries then acc
+    else sum (k + 1) (acc +. response +. request_nak_backoff t ~attempt:k)
+  in
+  sum 0 0.
+
 let resolving_period t ~rtt =
   rtt +. (0.5 *. t.w_cp) +. (float_of_int t.c_depth *. t.w_cp)
 

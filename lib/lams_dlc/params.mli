@@ -34,7 +34,11 @@ type t = {
           timeout or when a checkpoint shows the link is back) before
           declaring failure. The paper's protocol is single-shot (0);
           the default allows 3 so that an outage longer than the failure
-          window but shorter than the link lifetime still recovers. *)
+          window but shorter than the link lifetime still recovers.
+          Re-issues are paced by {!request_nak_backoff} — attempt [k]
+          waits [2^k] checkpoint timeouts, not a fixed cadence — so the
+          whole budget spans [failure_declaration_bound] rather than
+          burning out at the start of a long inter-contact gap. *)
   link_lifetime_end : float option;
       (** absolute simulated time after which a recovery is considered
           unreachable (paper: "provided that the expected response time
@@ -53,6 +57,20 @@ val validate : t -> (t, string) result
 
 val checkpoint_timeout : t -> float
 (** [c_depth * w_cp] — the sender-side silence threshold (§3.2). *)
+
+val request_nak_backoff : t -> attempt:int -> float
+(** Extra wait granted to Request-NAK attempt [attempt] (0-based) before
+    the failure timer fires: [2^attempt * checkpoint_timeout], with the
+    exponent clamped at 60. Raises [Invalid_argument] on a negative
+    attempt. *)
+
+val failure_declaration_bound : t -> response:float -> float
+(** Upper bound on the time from the first enforced-recovery initiation
+    to failure declaration when no answer ever arrives:
+    the sum over attempts [0 .. request_nak_retries] of
+    [response + request_nak_backoff ~attempt]. [response] is the
+    sender's expected Request-NAK round trip. The QCheck backoff
+    property in [test/test_lams_dlc.ml] pins the schedule to this. *)
 
 val resolving_period : t -> rtt:float -> float
 (** Paper §3.3: [R + w_cp/2 + c_depth * w_cp]; bounds the holding time of

@@ -196,6 +196,9 @@ let on_rx t (rx : Channel.Link.rx) =
 
 let next_expected t = t.next_expected
 
+let outstanding_naks t =
+  Int_set.elements (Int_set.union t.error_log t.current_errors)
+
 let queue_length t = t.queue_len
 
 let stop_state t = t.stop_state

@@ -38,6 +38,14 @@ val set_on_deliver : t -> (payload:string -> seq:int -> unit) -> unit
 
 val next_expected : t -> int
 
+val outstanding_naks : t -> int list
+(** The NAK ledger, ascending: every sequence number ever found
+    erroneous, plus the current interval's errors — exactly the set an
+    Enforced-NAK would advertise right now. The handover [Carryover]
+    snapshots this at window close; the seqs are only meaningful within
+    this session's numbering, so carryover uses them for accounting, not
+    replay. *)
+
 val queue_length : t -> int
 (** Current modelled receiving-buffer occupancy. *)
 

@@ -157,7 +157,7 @@ and declare_failure t =
     (match t.cp_timer with Some timer -> Sim.Timer.stop timer | None -> ());
     (match t.failure_timer with Some timer -> Sim.Timer.stop timer | None -> ());
     Log.info (fun m -> m "link declared failed at %g" (Sim.Engine.now t.engine));
-    emit t Dlc.Probe.Failure;
+    emit t Dlc.Probe.Failure_declared;
     match t.on_failure with None -> () | Some f -> f ()
   end
 
@@ -190,7 +190,10 @@ and initiate_enforced_recovery t =
       t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
       Channel.Link.send t.forward
         (Frame.Wire.Control (Frame.Cframe.request_nak ~issue_time:now));
-      let timeout = response +. Params.checkpoint_timeout t.params in
+      let timeout =
+        response
+        +. Params.request_nak_backoff t.params ~attempt:t.request_nak_attempts
+      in
       let timer =
         match t.failure_timer with
         | Some timer ->
@@ -271,8 +274,9 @@ let on_checkpoint t (cp : Frame.Cframe.checkpoint) =
   | None -> ());
   (* A non-enforced checkpoint while awaiting an Enforced-NAK proves the
      receiver alive — extend the failure deadline — and means our
-     Request-NAK (or its answer) was lost in an outage: re-issue it, at
-     most once per expected response time and within the retry budget. *)
+     Request-NAK (or its answer) was lost in an outage: re-issue it,
+     within the retry budget, paced by the same doubling backoff as the
+     failure timer so a long gap doesn't burn the whole budget. *)
   (if
      t.halted && (not t.failed)
      && (not cp.Frame.Cframe.enforced)
@@ -286,7 +290,9 @@ let on_checkpoint t (cp : Frame.Cframe.checkpoint) =
      | None -> ());
      let now = Sim.Engine.now t.engine in
      if
-       now -. t.last_request_nak > expected_response_time t
+       now -. t.last_request_nak
+       > expected_response_time t
+         +. Params.request_nak_backoff t.params ~attempt:t.request_nak_attempts
        && t.request_nak_attempts < t.params.Params.request_nak_retries
      then begin
        t.request_nak_attempts <- t.request_nak_attempts + 1;

@@ -63,7 +63,7 @@ let declare_failure t =
       t.metrics.Dlc.Metrics.failures_detected + 1;
     stop_watchdog t;
     Log.info (fun m -> m "link declared failed at %g" (Sim.Engine.now t.engine));
-    emit t Dlc.Probe.Failure;
+    emit t Dlc.Probe.Failure_declared;
     match t.on_failure with None -> () | Some f -> f ()
   end
 

@@ -252,10 +252,14 @@ let on_probe_event t ~now ev =
           t.recovery_episodes <- (s, now) :: t.recovery_episodes;
           t.recovery_open <- None
       | None -> ())
-  | Failure -> (
+  | Failure_declared -> (
       (* an open recovery never completes; keep it open so late releases
          during drain stay exempt from the holding bound *)
       match t.recovery_open with None -> t.recovery_open <- Some now | _ -> ())
+  | Link_transition _ ->
+      (* lifecycle bookkeeping only; the handover-level safety check
+         lives in {!Transfer}, which watches payloads across sessions *)
+      ()
   | Cp_emitted _ ->
       (* checkpoint emission is checked on the reverse-link tap, which
          sees the wire frame itself; the semantic event is for tracing *)
@@ -408,4 +412,134 @@ module Stream = struct
   let violations s = List.rev s.viols
 
   let ok s = s.viols = []
+end
+
+module Transfer = struct
+  type trec = {
+    mutable offers : int;
+    mutable deliveries : int;
+    mutable suspicious : bool;
+  }
+
+  type nonrec t = {
+    name : string;
+    payloads : (string, trec) Hashtbl.t;
+    sink_seen : (int, float) Hashtbl.t;
+    mutable sessions_spanned : int;
+    mutable failures_declared : int;
+    mutable viols : violation list;  (* newest first *)
+    mutable viol_count : int;
+    mutable finalized : bool;
+  }
+
+  let create ~name =
+    {
+      name;
+      payloads = Hashtbl.create 1024;
+      sink_seen = Hashtbl.create 256;
+      sessions_spanned = 0;
+      failures_declared = 0;
+      viols = [];
+      viol_count = 0;
+      finalized = false;
+    }
+
+  let violate s ~time invariant detail =
+    s.viol_count <- s.viol_count + 1;
+    if s.viol_count <= max_recorded then
+      s.viols <- { time; invariant; detail } :: s.viols
+
+  let find_or_add s payload =
+    match Hashtbl.find_opt s.payloads payload with
+    | Some r -> r
+    | None ->
+        let r = { offers = 0; deliveries = 0; suspicious = false } in
+        Hashtbl.replace s.payloads payload r;
+        r
+
+  let mark_suspicious s payload = (find_or_add s payload).suspicious <- true
+
+  let observe s probe =
+    Dlc.Probe.subscribe probe (fun ~now ev ->
+        match (ev : Dlc.Probe.event) with
+        | Offered { payload } ->
+            let r = find_or_add s payload in
+            r.offers <- r.offers + 1
+        | Delivered { payload; _ } ->
+            let r = find_or_add s payload in
+            r.deliveries <- r.deliveries + 1;
+            if r.offers = 0 then
+              violate s ~time:now "transfer-unoffered"
+                (Printf.sprintf "%s delivered but never offered" (short payload))
+            else if r.deliveries > r.offers then
+              violate s ~time:now "transfer-duplicate"
+                (Printf.sprintf
+                   "%s delivered %d times against %d offer(s): more copies \
+                    than the handover replayed"
+                   (short payload) r.deliveries r.offers)
+            else if r.deliveries > 1 && not r.suspicious then
+              violate s ~time:now "transfer-verdict"
+                (Printf.sprintf
+                   "%s delivered %d times but was never classified \
+                    `Suspicious: the §3.3 handoff verdict lied"
+                   (short payload) r.deliveries)
+        | Link_transition { state = Dlc.Probe.Link_up } ->
+            s.sessions_spanned <- s.sessions_spanned + 1
+        | Failure_declared -> s.failures_declared <- s.failures_declared + 1
+        | _ -> ())
+
+  let on_sink s ~now key =
+    if Hashtbl.mem s.sink_seen key then
+      violate s ~time:now "transfer-sink-duplicate"
+        (Printf.sprintf
+           "message %d completed twice past the resequencer: the continuity \
+            witness saw a duplicate escape dedup"
+           key)
+    else Hashtbl.replace s.sink_seen key now
+
+  let sessions_spanned s = s.sessions_spanned
+
+  let failures_declared s = s.failures_declared
+
+  let finalize ?(retained = []) s =
+    if not s.finalized then begin
+      s.finalized <- true;
+      let kept = Hashtbl.create (List.length retained) in
+      List.iter (fun p -> Hashtbl.replace kept p ()) retained;
+      Hashtbl.iter
+        (fun payload r ->
+          if r.offers > 0 && r.deliveries = 0 && not (Hashtbl.mem kept payload)
+          then
+            violate s ~time:nan "transfer-loss"
+              (Printf.sprintf
+                 "%s offered but neither delivered nor retained: lost across \
+                  the handover"
+                 (short payload)))
+        s.payloads
+    end
+
+  let violations s = List.rev s.viols
+
+  let ok s = s.viol_count = 0
+
+  let report s =
+    if ok s then ""
+    else begin
+      let b = Buffer.create 256 in
+      Buffer.add_string b
+        (Printf.sprintf "%s: %d cross-handover violation(s)\n" s.name
+           s.viol_count);
+      List.iter
+        (fun v -> Buffer.add_string b (Format.asprintf "  %a\n" pp_violation v))
+        (violations s);
+      if s.viol_count > max_recorded then
+        Buffer.add_string b
+          (Printf.sprintf "  ... %d more suppressed\n"
+             (s.viol_count - max_recorded));
+      Buffer.contents b
+    end
+
+  let check ?retained s =
+    finalize ?retained s;
+    if not (ok s) then failwith (report s)
 end

@@ -97,3 +97,57 @@ module Stream : sig
 
   val ok : t -> bool
 end
+
+(** Cross-handover no-loss / no-duplicate check, spanning session
+    instances.
+
+    A handover manager runs a fresh LAMS-DLC session per contact window
+    over one shared probe; wire numbering restarts with each session, so
+    the per-session profiles above cannot watch the whole journey. This
+    checker tracks {e payloads} across the stream instead:
+
+    - {b conservation}: every payload ever offered is delivered at least
+      once, or still retained by the handover layer at finalisation —
+      nothing silently vanishes at a window boundary;
+    - {b bounded duplication}: a payload may be delivered at most once
+      per offer, and more than once overall only if some carryover
+      classified it [`Suspicious] (§3.3) — a duplicate of a
+      [`Not_delivered] payload means the handoff verdict was wrong;
+    - {b sink uniqueness}: past the destination resequencer (the
+      continuity witness), each message completes exactly once — feed
+      completions to {!Transfer.on_sink}. *)
+module Transfer : sig
+  type t
+
+  val create : name:string -> t
+
+  val observe : t -> Dlc.Probe.t -> unit
+  (** Subscribe to the handover manager's shared probe. *)
+
+  val mark_suspicious : t -> string -> unit
+  (** Grant the payload a duplicate budget; wire this to
+      [Handover.Manager.set_on_suspicious_replay]. *)
+
+  val on_sink : t -> now:float -> int -> unit
+  (** Report a completed message id from the destination resequencer. *)
+
+  val sessions_spanned : t -> int
+  (** Link-up transitions seen — the number of contact windows (and
+      same-window successor sessions) the stream crossed. *)
+
+  val failures_declared : t -> int
+
+  val finalize : ?retained:string list -> t -> unit
+  (** End-of-run conservation check; [retained] lists payloads the
+      handover layer still holds (see [Handover.Manager.retained]),
+      which are exempt from the loss check. Idempotent. *)
+
+  val violations : t -> violation list
+
+  val ok : t -> bool
+
+  val report : t -> string
+
+  val check : ?retained:string list -> t -> unit
+  (** {!finalize} then raise [Failure] with {!report} unless {!ok}. *)
+end

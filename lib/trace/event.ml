@@ -30,7 +30,8 @@ let kind_fields = function
       ("seq", Json.Int seq) :: payload_fields payload
   | Probe Dlc.Probe.Recovery_started
   | Probe Dlc.Probe.Recovery_completed
-  | Probe Dlc.Probe.Failure -> []
+  | Probe Dlc.Probe.Failure_declared
+  | Probe (Dlc.Probe.Link_transition _) -> []
   | Probe (Dlc.Probe.Cp_emitted { cp_seq; next_expected; enforced; stop_go; naks })
     ->
       [
@@ -108,7 +109,13 @@ let kind_of_json j = function
           Probe (Dlc.Probe.Delivered { seq; payload }))
   | "recovery-started" -> Ok (Probe Dlc.Probe.Recovery_started)
   | "recovery-completed" -> Ok (Probe Dlc.Probe.Recovery_completed)
-  | "failure" -> Ok (Probe Dlc.Probe.Failure)
+  | "failure-declared" -> Ok (Probe Dlc.Probe.Failure_declared)
+  | "link-up" -> Ok (Probe (Dlc.Probe.Link_transition { state = Link_up }))
+  | "link-retargeting" ->
+      Ok (Probe (Dlc.Probe.Link_transition { state = Link_retargeting }))
+  | "link-down" -> Ok (Probe (Dlc.Probe.Link_transition { state = Link_down }))
+  | "link-failed" ->
+      Ok (Probe (Dlc.Probe.Link_transition { state = Link_failed }))
   | "cp" | "cp-nak" ->
       let* cp_seq = int_field j "cp_seq" in
       let* next_expected = int_field j "next_expected" in

@@ -178,6 +178,39 @@ let test_link_outage_loses_frames () =
   Sim.Engine.run engine;
   Alcotest.(check int) "delivers after recovery" 1 !received
 
+let test_link_outage_mid_serialisation () =
+  (* Outage fate is decided twice: at serialisation start (a frame
+     started while dark is gone for good, even if the link returns
+     before arrival) and again at arrival (a frame started while lit is
+     claimed only if the link is still dark when it lands). At 1 Mb/s a
+     112 B I-frame serialises in 1 ms and flies ~10 ms. *)
+  let engine = Sim.Engine.create () in
+  let link = make_link engine 41 in
+  let received = ref 0 in
+  Channel.Link.set_receiver link (fun _ -> incr received);
+  let at delay f =
+    ignore (Sim.Engine.schedule engine ~delay f : Sim.Engine.event_id)
+  in
+  (* A: cut mid-serialisation, restored before arrival -> delivered *)
+  at 0. (fun () -> Channel.Link.send link (iframe ~seq:0 ~bytes:112));
+  at 0.0005 (fun () -> Channel.Link.set_down link);
+  at 0.002 (fun () -> Channel.Link.set_up link);
+  (* B: cut mid-serialisation, still dark at arrival -> lost *)
+  at 0.020 (fun () -> Channel.Link.send link (iframe ~seq:1 ~bytes:112));
+  at 0.0205 (fun () -> Channel.Link.set_down link);
+  at 0.035 (fun () -> Channel.Link.set_up link);
+  (* C: serialisation starts while dark -> lost even though the link is
+     back up before the would-be arrival *)
+  at 0.039 (fun () -> Channel.Link.set_down link);
+  at 0.040 (fun () -> Channel.Link.send link (iframe ~seq:2 ~bytes:112));
+  at 0.042 (fun () -> Channel.Link.set_up link);
+  (* D: clean -> delivered *)
+  at 0.043 (fun () -> Channel.Link.send link (iframe ~seq:3 ~bytes:112));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "A and D delivered" 2 !received;
+  Alcotest.(check int) "B and C counted lost" 2
+    (Channel.Link.stats link).Channel.Link.frames_lost
+
 let test_link_corruption_statuses () =
   let engine = Sim.Engine.create () in
   (* ber=1 corrupts every frame; header corruption must be flagged *)
@@ -344,6 +377,8 @@ let suite =
     Alcotest.test_case "link FIFO + queueing" `Quick test_link_fifo_and_queueing;
     Alcotest.test_case "link on_idle" `Quick test_link_on_idle;
     Alcotest.test_case "link outage" `Quick test_link_outage_loses_frames;
+    Alcotest.test_case "link outage mid-serialisation" `Quick
+      test_link_outage_mid_serialisation;
     Alcotest.test_case "corruption statuses" `Quick test_link_corruption_statuses;
     Alcotest.test_case "control frames use control model" `Quick
       test_control_frames_use_control_model;

@@ -240,7 +240,8 @@ let test_frame_conservation () =
     (fwd.Channel.Link.frames_corrupted <= fwd.Channel.Link.frames_delivered)
 
 let test_experiment_registry () =
-  Alcotest.(check int) "twenty experiments" 20 (List.length Experiments.All.all);
+  Alcotest.(check int) "twenty-one experiments" 21
+    (List.length Experiments.All.all);
   (match Experiments.All.find "E5" with
   | Some e -> Alcotest.(check string) "id" "e5" e.Experiments.All.id
   | None -> Alcotest.fail "E5 missing");

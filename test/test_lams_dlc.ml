@@ -284,6 +284,66 @@ let test_drain_unresolved_after_failure () =
   Alcotest.(check bool) "some frames were definitely undelivered" true
     (!not_delivered > 0)
 
+let test_request_nak_backoff_pins () =
+  (* w_cp = 1 ms, c_depth = 3 -> checkpoint_timeout 3 ms; attempt k
+     waits 2^k times that *)
+  let params =
+    { Lams_dlc.Params.default with Lams_dlc.Params.w_cp = 1e-3; c_depth = 3 }
+  in
+  let check_backoff k expect =
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "attempt %d" k)
+      expect
+      (Lams_dlc.Params.request_nak_backoff params ~attempt:k)
+  in
+  check_backoff 0 3e-3;
+  check_backoff 1 6e-3;
+  check_backoff 2 12e-3;
+  check_backoff 3 24e-3;
+  (* the exponent clamps: huge attempt counts stay finite *)
+  Alcotest.(check bool) "clamped attempts finite" true
+    (Float.is_finite (Lams_dlc.Params.request_nak_backoff params ~attempt:10_000));
+  Alcotest.check_raises "negative attempt rejected"
+    (Invalid_argument "request_nak_backoff: negative attempt") (fun () ->
+      ignore (Lams_dlc.Params.request_nak_backoff params ~attempt:(-1) : float));
+  (* retries = 2, response = 2 ms: bound = 3*2 + (3 + 6 + 12) = 27 ms *)
+  let params = { params with Lams_dlc.Params.request_nak_retries = 2 } in
+  Alcotest.(check (float 1e-12)) "declaration bound" 27e-3
+    (Lams_dlc.Params.failure_declaration_bound params ~response:2e-3)
+
+let prop_backoff_within_declaration_bound =
+  QCheck2.Test.make
+    ~name:"total request-nak backoff bounded by failure declaration" ~count:300
+    QCheck2.Gen.(
+      triple (int_range 1 1000) (int_range 0 40) (int_range 0 500))
+    (fun (w_cp_tenths_ms, retries, response_tenths_ms) ->
+      let params =
+        {
+          Lams_dlc.Params.default with
+          Lams_dlc.Params.w_cp = float_of_int w_cp_tenths_ms *. 1e-4;
+          request_nak_retries = retries;
+        }
+      in
+      let response = float_of_int response_tenths_ms *. 1e-4 in
+      let bound = Lams_dlc.Params.failure_declaration_bound params ~response in
+      (* the sum every attempt actually waits (backoff plus a response
+         window each) never exceeds the declared bound, the bound is
+         finite, and each attempt waits exactly twice the previous one
+         below the clamp *)
+      let total = ref 0. in
+      let doubling = ref true in
+      for k = 0 to retries do
+        let b = Lams_dlc.Params.request_nak_backoff params ~attempt:k in
+        if k > 0 && k <= 60 then
+          doubling :=
+            !doubling
+            && Float.abs
+                 (b -. (2. *. Lams_dlc.Params.request_nak_backoff params ~attempt:(k - 1)))
+               <= 1e-15 *. b;
+        total := !total +. response +. b
+      done;
+      Float.is_finite bound && !doubling && !total <= bound *. (1. +. 1e-12))
+
 let prop_zero_loss_across_seeds =
   QCheck2.Test.make ~name:"zero loss for any seed and error rate" ~count:25
     QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 30))
@@ -327,5 +387,8 @@ let suite =
       test_out_of_order_delivery_possible;
     Alcotest.test_case "drain after failure" `Quick
       test_drain_unresolved_after_failure;
+    Alcotest.test_case "request-nak backoff pins" `Quick
+      test_request_nak_backoff_pins;
+    QCheck_alcotest.to_alcotest prop_backoff_within_declaration_bound;
     QCheck_alcotest.to_alcotest prop_zero_loss_across_seeds;
   ]

@@ -32,4 +32,5 @@ let () =
       ("runner", Test_runner.suite);
       ("trace", Test_trace.suite);
       ("matrix-soak", Test_matrix_soak.suite);
+      ("handover", Test_handover.suite);
     ]

@@ -227,6 +227,59 @@ let test_contact_usable () =
   Alcotest.(check bool) "consumed window" true
     (Orbit.Contact.usable w ~retarget_overhead:10. = None)
 
+let test_contact_windows_mid_window_span () =
+  (* from_t / until_t landing inside a visibility interval clamp the
+     returned window to the queried span exactly — the bisection must
+     not run edges outside [from_t, until_t] when visibility holds over
+     the whole span *)
+  let o1 =
+    Orbit.Circular_orbit.create ~altitude_m:1e6 ~inclination_rad:0.7 ~raan_rad:0.
+      ~phase_rad:0. ()
+  in
+  let o2 = { o1 with Orbit.Circular_orbit.phase_rad = 0.5 } in
+  match Orbit.Contact.windows o1 o2 ~from_t:123.456 ~until_t:789.012 with
+  | [ w ] ->
+      Alcotest.(check (float 1e-9)) "starts at from_t" 123.456
+        w.Orbit.Contact.t_start;
+      Alcotest.(check (float 1e-9)) "ends at until_t" 789.012
+        w.Orbit.Contact.t_end
+  | ws -> Alcotest.failf "expected one clamped window, got %d" (List.length ws)
+
+let test_contact_windows_truncated_by_span () =
+  (* querying the middle slice of a real crossing-pair window returns
+     that window truncated at both query bounds *)
+  let o1 =
+    Orbit.Circular_orbit.create ~altitude_m:1e6 ~inclination_rad:0.7 ~raan_rad:0.
+      ~phase_rad:0. ()
+  in
+  let o2 =
+    Orbit.Circular_orbit.create ~altitude_m:2e6 ~inclination_rad:0.7
+      ~raan_rad:Float.pi ~phase_rad:1.3 ()
+  in
+  let horizon = 4. *. Orbit.Circular_orbit.period o1 in
+  let full = Orbit.Contact.windows o1 o2 ~from_t:0. ~until_t:horizon in
+  let w =
+    match List.find_opt (fun w -> Orbit.Contact.duration w >= 120.) full with
+    | Some w -> w
+    | None -> Alcotest.fail "no long window found"
+  in
+  let from_t = w.Orbit.Contact.t_start +. (Orbit.Contact.duration w /. 4.) in
+  let until_t = w.Orbit.Contact.t_end -. (Orbit.Contact.duration w /. 4.) in
+  (match Orbit.Contact.windows o1 o2 ~from_t ~until_t with
+  | [ w' ] ->
+      Alcotest.(check (float 1e-3)) "truncated start" from_t
+        w'.Orbit.Contact.t_start;
+      Alcotest.(check (float 1e-3)) "truncated end" until_t
+        w'.Orbit.Contact.t_end
+  | ws -> Alcotest.failf "expected the one mid-window slice, got %d"
+            (List.length ws));
+  (* the slice, shrunk by a retargeting overhead bigger than itself, is
+     consumed entirely *)
+  Alcotest.(check bool) "slice consumed by retargeting" true
+    (Orbit.Contact.usable { Orbit.Contact.t_start = from_t; t_end = until_t }
+       ~retarget_overhead:(until_t -. from_t +. 1.)
+    = None)
+
 let test_contact_distances () =
   let o1 =
     Orbit.Circular_orbit.create ~altitude_m:1e6 ~inclination_rad:0.7 ~raan_rad:0.
@@ -262,5 +315,9 @@ let suite =
     Alcotest.test_case "contact windows crossing" `Quick test_contact_windows_crossing;
     Alcotest.test_case "J2 precession" `Quick test_j2_precession;
     Alcotest.test_case "contact usable" `Quick test_contact_usable;
+    Alcotest.test_case "contact mid-window span" `Quick
+      test_contact_windows_mid_window_span;
+    Alcotest.test_case "contact truncated by span" `Quick
+      test_contact_windows_truncated_by_span;
     Alcotest.test_case "contact distances" `Quick test_contact_distances;
   ]
