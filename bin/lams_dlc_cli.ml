@@ -36,6 +36,26 @@ let contact_plan_arg =
   Arg.(value & opt (some string) None
        & info [ "contact-plan" ] ~docv:"FILE" ~doc)
 
+(* Shared --corrupt-script flag (the `run`, `handover run` and `corrupt`
+   commands). *)
+let corrupt_script_arg =
+  let doc =
+    "State-corruption script: '#' comments, then either one rule per \
+     line ('at T [every P] [copies N] CLASS [k=v ...]') or a single \
+     'adversary seed=S start=A stop=B mean-gap=G classes=c1,c2' line. \
+     Classes: seq-scramble-send, seq-scramble-recv, nak-poison, \
+     nak-truncate, buffer-duplicate, carryover-stale, reverse-replay."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "corrupt-script" ] ~docv:"FILE" ~doc)
+
+let load_corrupt_script path =
+  match Dlc.Corrupt.load path with
+  | Ok spec -> spec
+  | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      exit 2
+
 let list_cmd =
   let doc = "List the available experiments (paper-evaluation reproductions)." in
   let run () =
@@ -68,7 +88,7 @@ let run_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run ids quick all jobs plan_file trace_dir =
+  let run ids quick all jobs plan_file corrupt_file trace_dir =
     set_trace_config trace_dir;
     let plan =
       match plan_file with
@@ -80,6 +100,7 @@ let run_cmd =
               Format.eprintf "%s@." e;
               exit 2)
     in
+    let corrupt = Option.map load_corrupt_script corrupt_file in
     let selected =
       if all || ids = [] then Experiments.All.all
       else
@@ -92,28 +113,34 @@ let run_cmd =
                 exit 2)
           ids
     in
-    match plan with
-    | Some p ->
-        (* a plan override only affects E21; render sequentially so the
-           override doesn't have to cross worker domains *)
-        List.iter
-          (fun e ->
-            if e.Experiments.All.id = "e21" then
-              Experiments.E21_handover.run ~plan:p ~quick
-                Format.std_formatter
-            else e.Experiments.All.run ~quick Format.std_formatter)
-          selected
-    | None ->
+    match (plan, corrupt) with
+    | None, None ->
         if all || ids = [] then
           Experiments.All.run_all ~quick ?jobs Format.std_formatter
         else
           List.iter
             (fun e -> e.Experiments.All.run ~quick Format.std_formatter)
             selected
+    | plan, corrupt ->
+        (* a plan override only affects E21, a corruption script only
+           E22; render sequentially so the overrides don't have to cross
+           worker domains *)
+        List.iter
+          (fun e ->
+            match (e.Experiments.All.id, plan, corrupt) with
+            | "e21", Some p, _ ->
+                Experiments.E21_handover.run ~plan:p ~quick
+                  Format.std_formatter
+            | "e22", _, Some spec ->
+                Experiments.E22_corruption.run ~spec ~quick
+                  Format.std_formatter
+            | _ -> e.Experiments.All.run ~quick Format.std_formatter)
+          selected
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ ids $ quick $ all $ jobs $ contact_plan_arg $ trace_dir_arg)
+      const run $ ids $ quick $ all $ jobs $ contact_plan_arg
+      $ corrupt_script_arg $ trace_dir_arg)
 
 (* --- experiments: the replicated matrix runner ------------------------- *)
 
@@ -635,13 +662,130 @@ let outcome_json (o : Experiments.E21_handover.outcome) =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+(* JSON/text printers for corruption-run outcomes (shared by `handover
+   run --corrupt-script` and `corrupt run`). Hand-rolled like
+   [outcome_json] so float formatting matches the benchmark pipeline. *)
+let json_obj fields =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf "%s: %s" (Stats.Jsonstr.escape k) v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let corruption_outcome_json (o : Experiments.E22_corruption.outcome) =
+  json_obj
+    [
+      ("variant", Stats.Jsonstr.escape o.Experiments.E22_corruption.variant);
+      ("script", Stats.Jsonstr.escape o.Experiments.E22_corruption.spec);
+      ("injected", string_of_int o.Experiments.E22_corruption.injected);
+      ("skipped", string_of_int o.Experiments.E22_corruption.skipped);
+      ("converged_windows", string_of_int o.Experiments.E22_corruption.converged);
+      ( "time_to_convergence",
+        Stats.Jsonstr.float_repr
+          o.Experiments.E22_corruption.time_to_convergence );
+      ("tolerated", string_of_int o.Experiments.E22_corruption.tolerated);
+      ( "declared_failure",
+        string_of_bool o.Experiments.E22_corruption.declared_failure );
+      ("unconverged", string_of_bool o.Experiments.E22_corruption.unconverged);
+      ("completed", string_of_bool o.Experiments.E22_corruption.completed);
+      ("delivered", string_of_int o.Experiments.E22_corruption.delivered);
+      ( "oracle_violations",
+        string_of_int (List.length o.Experiments.E22_corruption.violations) );
+    ]
+
+let corruption_handover_json (o : Experiments.E22_corruption.handover_outcome) =
+  json_obj
+    [
+      ("variant", Stats.Jsonstr.escape "handover");
+      ("script", Stats.Jsonstr.escape o.Experiments.E22_corruption.h_spec);
+      ("injected", string_of_int o.Experiments.E22_corruption.h_injected);
+      ("skipped", string_of_int o.Experiments.E22_corruption.h_skipped);
+      ( "converged_windows",
+        string_of_int o.Experiments.E22_corruption.h_converged );
+      ( "time_to_convergence",
+        Stats.Jsonstr.float_repr
+          o.Experiments.E22_corruption.h_time_to_convergence );
+      ("tolerated", string_of_int o.Experiments.E22_corruption.h_tolerated);
+      ("casualties", string_of_int o.Experiments.E22_corruption.casualties);
+      ( "declared_failure",
+        string_of_bool o.Experiments.E22_corruption.h_declared );
+      ( "unconverged",
+        string_of_bool o.Experiments.E22_corruption.h_unconverged );
+      ( "messages_completed",
+        string_of_int o.Experiments.E22_corruption.messages_completed );
+      ("sessions", string_of_int o.Experiments.E22_corruption.sessions);
+      ( "oracle_violations",
+        string_of_int (List.length o.Experiments.E22_corruption.h_violations)
+      );
+    ]
+
+let print_corruption_outcome ~json (o : Experiments.E22_corruption.outcome) =
+  if json then print_endline (corruption_outcome_json o)
+  else begin
+    Format.printf
+      "%s under %s:@.  %d injected (%d skipped), %d suspect window(s) \
+       converged, worst time-to-convergence %.6f s@.  %d tolerated \
+       anomalies; declared failure: %b; unconverged: %b; completed: %b \
+       (%d delivered)@."
+      o.Experiments.E22_corruption.variant o.Experiments.E22_corruption.spec
+      o.Experiments.E22_corruption.injected
+      o.Experiments.E22_corruption.skipped
+      o.Experiments.E22_corruption.converged
+      o.Experiments.E22_corruption.time_to_convergence
+      o.Experiments.E22_corruption.tolerated
+      o.Experiments.E22_corruption.declared_failure
+      o.Experiments.E22_corruption.unconverged
+      o.Experiments.E22_corruption.completed
+      o.Experiments.E22_corruption.delivered;
+    List.iter
+      (fun v -> Format.printf "  %a@." Oracle.pp_violation v)
+      o.Experiments.E22_corruption.violations
+  end;
+  o.Experiments.E22_corruption.violations <> []
+
+let print_corruption_handover ~json
+    (o : Experiments.E22_corruption.handover_outcome) =
+  if json then print_endline (corruption_handover_json o)
+  else begin
+    Format.printf
+      "handover under %s:@.  %d injected (%d skipped), %d suspect \
+       window(s) converged, worst time-to-convergence %.6f s@.  %d \
+       tolerated anomalies, %d casualties on the ledger; declared \
+       failure: %b; unconverged: %b@.  %d message(s) reassembled across \
+       %d session(s)@."
+      o.Experiments.E22_corruption.h_spec
+      o.Experiments.E22_corruption.h_injected
+      o.Experiments.E22_corruption.h_skipped
+      o.Experiments.E22_corruption.h_converged
+      o.Experiments.E22_corruption.h_time_to_convergence
+      o.Experiments.E22_corruption.h_tolerated
+      o.Experiments.E22_corruption.casualties
+      o.Experiments.E22_corruption.h_declared
+      o.Experiments.E22_corruption.h_unconverged
+      o.Experiments.E22_corruption.messages_completed
+      o.Experiments.E22_corruption.sessions;
+    List.iter
+      (fun v -> Format.printf "  %a@." Oracle.pp_violation v)
+      o.Experiments.E22_corruption.h_violations
+  end;
+  o.Experiments.E22_corruption.h_violations <> []
+
 let handover_run_cmd =
   let doc =
     "Run one multi-contact transfer (experiment E21's scenario): a \
      handover manager migrates LAMS-DLC sessions across the contact \
      plan's windows while the cross-handover oracle checks that no \
      payload is lost, and none duplicated beyond its Suspicious budget. \
-     Exits non-zero on any oracle violation."
+     Exits non-zero on any oracle violation. With \
+     $(b,--corrupt-script): the transfer instead runs E22's \
+     mid-handover corruption scenario (the script's rules mutate the \
+     live session and carryover snapshots; $(b,--contact-plan), \
+     $(b,--messages) and $(b,--cut) do not apply) with the \
+     cross-handover oracle in convergence mode."
   in
   let seed =
     Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
@@ -671,8 +815,15 @@ let handover_run_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.")
   in
-  let run plan_file seed messages cut json trace_dir =
+  let run plan_file corrupt_file seed messages cut json trace_dir =
     set_trace_config trace_dir;
+    match corrupt_file with
+    | Some path ->
+        let spec = load_corrupt_script path in
+        let o = Experiments.E22_corruption.run_handover ~seed spec in
+        if print_corruption_handover ~json o then exit 1;
+        `Ok ()
+    | None -> (
     let plan =
       match plan_file with
       | None -> Ok None
@@ -713,13 +864,13 @@ let handover_run_cmd =
             o.Experiments.E21_handover.violations
         end;
         if o.Experiments.E21_handover.violations <> [] then exit 1;
-        `Ok ()
+        `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run $ contact_plan_arg $ seed $ messages $ cut $ json
-       $ trace_dir_arg))
+        (const run $ contact_plan_arg $ corrupt_script_arg $ seed $ messages
+       $ cut $ json $ trace_dir_arg))
 
 let handover_soak_cmd =
   let doc =
@@ -822,10 +973,239 @@ let handover_cmd =
   in
   Cmd.group (Cmd.info "handover" ~doc) [ handover_run_cmd; handover_soak_cmd ]
 
+(* --- corrupt: self-stabilisation under live-state corruption ----------- *)
+
+let corrupt_run_cmd =
+  let doc =
+    "Run one session (or one multi-contact handover transfer) under a \
+     state-corruption schedule with the convergence-mode oracle \
+     attached: every injection opens a bounded suspect window, and all \
+     invariants must be re-established within the variant's checkpoint \
+     budget. Exits non-zero when the oracle reports a real violation \
+     (including failure to reconverge)."
+  in
+  let variant =
+    let v =
+      Arg.enum
+        [
+          ("lams", `Lams);
+          ("sr-hdlc", `Sr_hdlc);
+          ("nbdt", `Nbdt);
+          ("handover", `Handover);
+        ]
+    in
+    Arg.(value & pos 0 v `Lams
+         & info [] ~docv:"VARIANT"
+             ~doc:"Protocol variant: $(b,lams), $(b,sr-hdlc), $(b,nbdt), \
+                   or $(b,handover) (E21's multi-window transfer with \
+                   carryover corruption and the cross-handover oracle).")
+  in
+  let klass =
+    let doc =
+      Printf.sprintf
+        "Corruption class, injected once mid-stream with canonical \
+         arguments. One of: %s. Default: seq-scramble-send \
+         (carryover-stale for the handover variant)."
+        (String.concat ", "
+           (List.map fst Experiments.E22_corruption.classes))
+    in
+    Arg.(value & opt (some string) None & info [ "class" ] ~docv:"CLASS" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let frames =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "frames" ] ~docv:"N"
+             ~doc:"Frames to transfer (single-session variants only; \
+                   default: E22's canonical stream length).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the run's JSONL event trace to $(docv) (plus \
+                   $(docv).metrics.json).")
+  in
+  let run variant klass script seed frames json trace_file =
+    let spec =
+      match (script, klass) with
+      | Some _, Some _ ->
+          `Error (false, "--class and --corrupt-script are exclusive")
+      | Some path, None -> `Ok (load_corrupt_script path)
+      | None, Some tag -> (
+          match List.assoc_opt tag Experiments.E22_corruption.classes with
+          | Some k -> `Ok (Experiments.E22_corruption.spec_of k)
+          | None ->
+              `Error
+                ( false,
+                  Printf.sprintf "unknown corruption class %S (one of: %s)"
+                    tag
+                    (String.concat ", "
+                       (List.map fst Experiments.E22_corruption.classes)) ))
+      | None, None ->
+          `Ok
+            (match variant with
+            | `Handover -> Experiments.E22_corruption.carryover_spec
+            | _ ->
+                Experiments.E22_corruption.spec_of
+                  (snd (List.hd Experiments.E22_corruption.classes)))
+    in
+    match spec with
+    | `Error _ as e -> e
+    | `Ok spec ->
+        let capture = Option.map file_capture trace_file in
+        let recorder = Option.map fst capture in
+        let finish () = match capture with Some (_, w) -> w () | None -> () in
+        let violated =
+          match variant with
+          | `Handover ->
+              let o =
+                Experiments.E22_corruption.run_handover ?recorder ~seed spec
+              in
+              finish ();
+              print_corruption_handover ~json o
+          | (`Lams | `Sr_hdlc | `Nbdt) as v ->
+              let v =
+                match v with
+                | `Lams -> Experiments.E22_corruption.Lams
+                | `Sr_hdlc -> Experiments.E22_corruption.Sr_hdlc
+                | `Nbdt -> Experiments.E22_corruption.Nbdt_bulk
+              in
+              let o =
+                Experiments.E22_corruption.run_one ?recorder ?frames ~seed v
+                  spec
+              in
+              finish ();
+              print_corruption_outcome ~json o
+        in
+        if violated then exit 1;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ variant $ klass $ corrupt_script_arg $ seed $ frames
+       $ json $ trace_file))
+
+let corrupt_soak_cmd =
+  let doc =
+    "Seed-pinned corruption soak: sweep random adversary corruption \
+     schedules over E21's mid-handover transfer through the replicated \
+     matrix runner, the cross-handover oracle in convergence mode \
+     watching every run. Results are byte-identical for any $(b,--jobs) \
+     value. Exits non-zero when any schedule trips the oracle (fails \
+     to reconverge or loses unledgered payloads)."
+  in
+  let schedules =
+    Arg.(value & opt int 50
+         & info [ "schedules" ] ~docv:"N"
+             ~doc:"Random corruption schedules to sweep.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker count (results identical for any value).")
+  in
+  let root_seed =
+    Arg.(value & opt int 1
+         & info [ "root-seed" ] ~docv:"SEED"
+             ~doc:"Root seed every schedule's task seed derives from.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the matrix report as JSON on stdout.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON to $(docv).")
+  in
+  let no_meta =
+    Arg.(value & flag
+         & info [ "no-meta" ]
+             ~doc:"Omit run metadata so two runs diff byte-for-byte.")
+  in
+  let run schedules jobs root_seed json out no_meta trace_dir =
+    set_trace_config trace_dir;
+    if schedules < 1 then begin
+      Format.eprintf "--schedules must be >= 1@.";
+      exit 2
+    end;
+    let jobs =
+      max 1
+        (match jobs with
+        | Some j -> j
+        | None -> Runner.Pool.default_jobs ())
+    in
+    let report =
+      Experiments.E22_corruption.soak ~jobs ~root_seed ~schedules ()
+    in
+    let report =
+      if no_meta then report
+      else
+        {
+          report with
+          Bench_report.Matrix_report.meta =
+            Some (Bench_report.Matrix_report.collect_meta ~jobs);
+        }
+    in
+    (match out with
+    | Some path ->
+        Bench_report.Matrix_report.write ~with_meta:(not no_meta) path report
+    | None -> ());
+    if json then
+      print_endline
+        (Bench_report.Json.to_string ~indent:2
+           (Bench_report.Matrix_report.to_json ~with_meta:(not no_meta) report))
+    else Experiments.Report.matrix Format.std_formatter report;
+    let violated =
+      List.concat_map
+        (fun e ->
+          List.filter_map
+            (fun p ->
+              match
+                List.assoc_opt "oracle_violations"
+                  p.Bench_report.Matrix_report.metrics
+              with
+              | Some s when s.Bench_report.Matrix_report.max > 0. ->
+                  Some p.Bench_report.Matrix_report.label
+              | _ -> None)
+            e.Bench_report.Matrix_report.points)
+        report.Bench_report.Matrix_report.experiments
+    in
+    if violated <> [] then begin
+      Format.eprintf "oracle violations in %d schedule(s): %s@."
+        (List.length violated)
+        (String.concat ", " violated);
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ schedules $ jobs $ root_seed $ json $ out $ no_meta
+      $ trace_dir_arg)
+
+let corrupt_cmd =
+  let doc =
+    "Self-stabilisation: state-corruption injection and convergence."
+  in
+  Cmd.group (Cmd.info "corrupt" ~doc) [ corrupt_run_cmd; corrupt_soak_cmd ]
+
 let () =
   let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in
   let info = Cmd.info "lams_dlc_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; sim_cmd; experiments_cmd; trace_cmd; handover_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            sim_cmd;
+            experiments_cmd;
+            trace_cmd;
+            handover_cmd;
+            corrupt_cmd;
+          ]))

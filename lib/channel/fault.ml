@@ -55,7 +55,8 @@ type t = {
   mutable c_count : int;  (* control frames classified so far *)
   mutable hits : int;
   mutable log : (float * string) list;  (* newest first *)
-  mutable observer : (now:float -> action -> Frame.Wire.t -> unit) option;
+  mutable observers : (now:float -> action -> Frame.Wire.t -> unit) list;
+      (* newest last; all invoked *)
 }
 
 let compile spec =
@@ -71,9 +72,9 @@ let compile spec =
         check "p_control" p_control;
         Random { rng = Sim.Rng.create ~seed; p_iframe; p_control; window }
   in
-  { mode; spec; i_count = 0; c_count = 0; hits = 0; log = []; observer = None }
+  { mode; spec; i_count = 0; c_count = 0; hits = 0; log = []; observers = [] }
 
-let set_observer t f = t.observer <- Some f
+let set_observer t f = t.observers <- t.observers @ [ f ]
 
 let of_rules rules = compile (Rules rules)
 
@@ -118,7 +119,7 @@ let record t ~now action frame =
     ( now,
       Format.asprintf "%s %a" (action_name action) Frame.Wire.pp frame )
     :: t.log;
-  match t.observer with None -> () | Some f -> f ~now action frame
+  List.iter (fun f -> f ~now action frame) t.observers
 
 let decision t ~now frame =
   let is_iframe = not (Frame.Wire.is_control frame) in

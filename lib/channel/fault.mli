@@ -76,4 +76,5 @@ val action_name : action -> string
 val set_observer : t -> (now:float -> action -> Frame.Wire.t -> unit) -> unit
 (** Fires synchronously whenever this script affects a frame (the same
     moments {!log} records), letting a tracer interleave fault hits with
-    protocol events. One observer per script; later calls replace. *)
+    protocol events. Observers compose: every registered observer fires,
+    in registration order. *)

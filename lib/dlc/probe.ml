@@ -23,6 +23,8 @@ type event =
       stop_go : bool;
       naks : int list;
     }
+  | State_corrupted of { klass : string; detail : string }
+  | Converged of { after : float; anomalies : int }
 
 let event_name = function
   | Offered _ -> "offered"
@@ -37,6 +39,8 @@ let event_name = function
   | Link_transition { state } -> "link-" ^ link_state_name state
   | Cp_emitted { naks = []; _ } -> "cp"
   | Cp_emitted _ -> "cp-nak"
+  | State_corrupted _ -> "state-corrupted"
+  | Converged _ -> "converged"
 
 type t = { mutable handlers : (now:float -> event -> unit) list }
 

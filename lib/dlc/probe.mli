@@ -54,6 +54,15 @@ type event =
           rejected number for REJ/SREJ). Emitted at creation, before the
           frame enters the reverse link, so observers see the receiver's
           decision upstream of any channel loss. *)
+  | State_corrupted of { klass : string; detail : string }
+      (** {!module:Corrupt} injected a fault of class [klass] directly
+          into live session state; [detail] records what was mutated.
+          Observers in convergence mode open a suspect window here. *)
+  | Converged of { after : float; anomalies : int }
+      (** a convergence-mode oracle closed its suspect window: all
+          invariants were re-established within the checkpoint bound,
+          [after] seconds after the injection, having tolerated
+          [anomalies] transient anomalies in between. *)
 
 val event_name : event -> string
 

@@ -133,6 +133,12 @@ let all =
       run = (fun ?quick ppf -> E21_handover.run ?quick ppf);
       points = E21_handover.points;
     };
+    {
+      id = "e22";
+      name = E22_corruption.name;
+      run = (fun ?quick ppf -> E22_corruption.run ?quick ppf);
+      points = E22_corruption.points;
+    };
   ]
 
 let find id =

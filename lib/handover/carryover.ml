@@ -33,6 +33,31 @@ let suspicious t = count `Suspicious t
 
 let is_empty t = t.unresolved = []
 
+let corrupt ?(drop = 0) ?(flip = false) t =
+  let drop = max 0 drop in
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | u :: rest -> split (n - 1) (u :: acc) rest
+  in
+  let dropped, kept = split drop [] t.unresolved in
+  let kept =
+    if not flip then kept
+    else
+      List.map
+        (fun u ->
+          {
+            u with
+            Lams_dlc.Sender.verdict =
+              (match u.Lams_dlc.Sender.verdict with
+              | `Not_delivered -> `Suspicious
+              | `Suspicious -> `Not_delivered);
+          })
+        kept
+  in
+  ( { t with unresolved = kept },
+    List.map (fun u -> u.Lams_dlc.Sender.payload) dropped )
+
 let replay t ~offer ~on_suspicious =
   let rec go n = function
     | [] -> n

@@ -38,6 +38,13 @@ val suspicious : t -> int
 
 val is_empty : t -> bool
 
+val corrupt : ?drop:int -> ?flip:bool -> t -> t * string list
+(** Deterministic snapshot corruption for self-stabilisation tests:
+    remove the first [drop] unresolved entries (their payloads are
+    returned — casualties destroyed with the state) and, when [flip],
+    invert every surviving §3.3 verdict ([`Not_delivered] <->
+    [`Suspicious]). The input is untouched. *)
+
 val replay :
   t -> offer:(string -> bool) -> on_suspicious:(string -> unit) -> int
 (** Offer every payload, oldest first, stopping at the first refusal;

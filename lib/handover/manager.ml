@@ -26,6 +26,8 @@ type t = {
   mutable last_carryover : Carryover.t option;
   stats : stats;
   mutable draining : bool;
+  mutable corrupt : Dlc.Corrupt.t option;
+  mutable on_casualty : (string -> unit) option;
 }
 
 (* Top the live session up from the manager buffer, front first. The
@@ -67,7 +69,34 @@ let close_session t =
   | Some session ->
       t.session <- None;
       t.dlc <- None;
-      let co = Carryover.snapshot ~now:(Sim.Engine.now t.engine) session in
+      let now = Sim.Engine.now t.engine in
+      let co = Carryover.snapshot ~now session in
+      let co =
+        match t.corrupt with
+        | None -> co
+        | Some cr -> (
+            match Dlc.Corrupt.take_carryover cr ~now with
+            | None -> co
+            | Some (drop, flip) ->
+                let co', casualties = Carryover.corrupt ~drop ~flip co in
+                let detail =
+                  Printf.sprintf
+                    "carryover snapshot corrupted: dropped %d of %d \
+                     unresolved entries%s"
+                    (List.length casualties)
+                    (List.length (Carryover.unresolved co))
+                    (if flip then ", verdicts flipped" else "")
+                in
+                Dlc.Corrupt.applied cr ~now ~klass:"carryover-stale" ~detail;
+                Dlc.Probe.emit t.probe ~now
+                  (Dlc.Probe.State_corrupted
+                     { klass = "carryover-stale"; detail });
+                (match t.on_casualty with
+                | Some f -> List.iter f casualties
+                | None -> ());
+                Log.info (fun m -> m "%s" detail);
+                co')
+      in
       t.last_carryover <- Some co;
       t.stats.carried_over <-
         t.stats.carried_over + List.length (Carryover.unresolved co);
@@ -140,6 +169,8 @@ let create ?probe engine ~params ~duplex ~plan =
       on_deliver = None;
       on_suspicious = None;
       last_carryover = None;
+      corrupt = None;
+      on_casualty = None;
       stats =
         {
           windows_opened = 0;
@@ -168,6 +199,41 @@ let offer t payload =
     drain t;
     true
   end
+
+let set_corruptor ?on_casualty t cr =
+  t.corrupt <- Some cr;
+  t.on_casualty <- on_casualty;
+  (* the surface dispatches to whichever session is live at firing time;
+     between windows every class is inapplicable and counts as skipped *)
+  let with_session f =
+    match t.session with
+    | None -> None
+    | Some s -> f (Lams_dlc.Session.corrupt_surface s)
+  in
+  let surface =
+    {
+      Dlc.Corrupt.scramble_send_seq =
+        (fun ~delta ->
+          with_session (fun sf -> sf.Dlc.Corrupt.scramble_send_seq ~delta));
+      scramble_recv_seq =
+        (fun ~delta ->
+          with_session (fun sf -> sf.Dlc.Corrupt.scramble_recv_seq ~delta));
+      poison_nak_ledger =
+        (fun ~seqs ->
+          with_session (fun sf -> sf.Dlc.Corrupt.poison_nak_ledger ~seqs));
+      truncate_nak_ledger =
+        (fun () ->
+          with_session (fun sf -> sf.Dlc.Corrupt.truncate_nak_ledger ()));
+      duplicate_buffer_entry =
+        (fun () ->
+          with_session (fun sf -> sf.Dlc.Corrupt.duplicate_buffer_entry ()));
+      replay_reverse =
+        (fun ~copies ~back ->
+          with_session (fun sf ->
+              sf.Dlc.Corrupt.replay_reverse ~copies ~back));
+    }
+  in
+  Dlc.Corrupt.install cr t.engine ~surface ~probe:t.probe
 
 let set_on_deliver t f = t.on_deliver <- Some f
 

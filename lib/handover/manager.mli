@@ -43,6 +43,16 @@ val offer : t -> string -> bool
     buffer is unbounded — it models the network layer's queue, whose
     sizing is the router's concern, not the DLC's. *)
 
+val set_corruptor : ?on_casualty:(string -> unit) -> t -> Dlc.Corrupt.t -> unit
+(** Install a state-corruption schedule ({!Dlc.Corrupt}) across the
+    whole transfer. Timed injections dispatch to whichever session is
+    live when they fire (skipped between windows); [Carryover_stale]
+    rules corrupt the snapshot taken at the next session close —
+    dropped-entry payloads are destroyed state, reported to
+    [on_casualty] so the caller can exempt them from conservation
+    checks (see [Oracle.Transfer.declare_casualty]). Call once, before
+    {!Sim.Engine.run}. *)
+
 val set_on_deliver : t -> (payload:string -> unit) -> unit
 (** Receiver-side upward deliveries, across all sessions. May see
     duplicates of [`Suspicious] carryovers; dedup belongs to the

@@ -201,3 +201,45 @@ let on_rx t (rx : Channel.Link.rx) =
     | Frame.Wire.Control _, _ ->
         Log.warn (fun m -> m "LAMS control frame on an HDLC link; ignored")
   end
+
+(* --- state-corruption surface (Dolev et al. self-stabilisation) ---------- *)
+
+let scramble_v_r t ~delta =
+  if t.stopped then None
+  else begin
+    let before = t.v_r in
+    let steps = min (abs delta) (t.params.Params.window - 1) in
+    let m = Frame.Seqnum.modulus t.sp in
+    for _ = 1 to steps do
+      t.v_r <-
+        (if delta >= 0 then Frame.Seqnum.succ t.sp t.v_r
+         else Frame.Seqnum.add t.sp t.v_r (m - 1))
+    done;
+    if Frame.Seqnum.sub t.sp t.highest_seen t.v_r > t.params.Params.window
+    then t.highest_seen <- t.v_r;
+    Some (Printf.sprintf "receiver v_r %d -> %d" before t.v_r)
+  end
+
+let poison_nak_ledger t ~seqs =
+  if t.stopped then None
+  else begin
+    let m = Frame.Seqnum.modulus t.sp in
+    let abs_seqs =
+      List.map (fun s -> (((t.v_r + s) mod m) + m) mod m) seqs
+    in
+    t.srej_outstanding <-
+      List.fold_left (fun set s -> Int_set.add s set) t.srej_outstanding
+        abs_seqs;
+    Some
+      (Printf.sprintf
+         "poisoned srej-outstanding with %s (future SREJs suppressed)"
+         (String.concat "," (List.map string_of_int abs_seqs)))
+  end
+
+let truncate_nak_ledger t =
+  if t.stopped then None
+  else begin
+    let n = Int_set.cardinal t.srej_outstanding in
+    t.srej_outstanding <- Int_set.empty;
+    Some (Printf.sprintf "erased srej-outstanding set (%d entries)" n)
+  end

@@ -34,3 +34,18 @@ val buffered : t -> int
 (** Out-of-order frames currently held (SR mode). *)
 
 val stop : t -> unit
+
+val scramble_v_r : t -> delta:int -> string option
+(** State-corruption injection point ({!Dlc.Corrupt}): shift V(R)
+    cyclically by [delta] (magnitude capped below the window size).
+    Forward jumps swallow in-flight frames; backward jumps wedge the
+    in-order point and end in timeout retry exhaustion. *)
+
+val poison_nak_ledger : t -> seqs:int list -> string option
+(** State-corruption injection point: insert phantom entries into the
+    SREJ-outstanding set ([seqs] are offsets from V(R)), suppressing
+    future SREJs for those numbers until a poll clears them. *)
+
+val truncate_nak_ledger : t -> string option
+(** State-corruption injection point: forget every outstanding SREJ,
+    allowing duplicate requests. *)

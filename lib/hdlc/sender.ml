@@ -297,3 +297,50 @@ let create engine ~params ~forward ~metrics ~probe =
   in
   Channel.Link.set_on_idle forward (fun () -> maybe_send t);
   t
+
+(* --- state-corruption surface (Dolev et al. self-stabilisation) ---------- *)
+
+let scramble_v_s t ~delta =
+  if t.failed || t.stopped || delta < 1 then None
+  else begin
+    (* Jump V(S) forward, materialising the skipped numbers as phantom
+       in-flight frames that were never transmitted. The receiver will
+       SREJ/REJ the gap and the sender "retransmits" the phantoms —
+       fabricated data delivered under corrupted state, exactly the
+       Dolev et al. arbitrary-state scenario — after which numbering is
+       consistent again. Capped so the window guard stays sound. *)
+    let room = t.params.Params.window - in_window t - 1 in
+    let delta = min delta room in
+    if delta < 1 then None
+    else begin
+      let before = t.v_s in
+      let now = Sim.Engine.now t.engine in
+      for _ = 1 to delta do
+        Hashtbl.replace t.inflight t.v_s
+          {
+            payload = Printf.sprintf "phantom-%d" t.v_s;
+            offer_time = now;
+            first_tx_time = now;
+            retries = 0;
+          };
+        t.v_s <- Frame.Seqnum.succ t.sp t.v_s
+      done;
+      Some
+        (Printf.sprintf "sender v_s %d -> %d (%d phantom inflight)" before
+           t.v_s delta)
+    end
+  end
+
+let duplicate_buffer_entry t =
+  if t.failed || t.stopped then None
+  else
+    let seq =
+      if Hashtbl.mem t.inflight t.v_a then Some t.v_a
+      else Hashtbl.fold (fun s _ _ -> Some s) t.inflight None
+    in
+    match seq with
+    | None -> None
+    | Some seq ->
+        Queue.add (seq, false) t.retx;
+        maybe_send t;
+        Some (Printf.sprintf "duplicated inflight seq %d into the retx queue" seq)

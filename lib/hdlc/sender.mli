@@ -45,3 +45,14 @@ val set_on_failure : t -> (unit -> unit) -> unit
 val offer_time_of_seq : t -> int -> float option
 
 val stop : t -> unit
+
+val scramble_v_s : t -> delta:int -> string option
+(** State-corruption injection point ({!Dlc.Corrupt}): jump V(S) forward
+    by up to [delta], materialising the skipped numbers as phantom
+    in-flight frames (never transmitted); SREJ/REJ recovery then
+    fabricates them. [None] when the window has no room. *)
+
+val duplicate_buffer_entry : t -> string option
+(** State-corruption injection point: queue an extra (same-number)
+    retransmission of an in-flight frame. [None] when none is in
+    flight. *)

@@ -206,3 +206,34 @@ let stop_state t = t.stop_state
 let checkpoints_sent t = t.checkpoints_sent
 
 let stop t = t.running <- false
+
+(* --- state-corruption surface (Dolev et al. self-stabilisation) ---------- *)
+
+let scramble_next_expected t ~delta =
+  if not t.running then None
+  else begin
+    let before = t.next_expected in
+    t.next_expected <- max 0 (t.next_expected + delta);
+    Some
+      (Printf.sprintf "receiver next_expected %d -> %d" before t.next_expected)
+  end
+
+let poison_nak_ledger t ~seqs =
+  if not t.running then None
+  else begin
+    let abs = List.map (fun s -> max 0 (t.next_expected + s)) seqs in
+    List.iter (mark_erroneous t) abs;
+    Some
+      (Printf.sprintf "poisoned NAK ledger with phantom seqs %s"
+         (String.concat "," (List.map string_of_int abs)))
+  end
+
+let truncate_nak_ledger t =
+  if not t.running then None
+  else begin
+    let n = Int_set.cardinal (Int_set.union t.error_log t.current_errors) in
+    t.current_errors <- Int_set.empty;
+    t.history <- [];
+    t.error_log <- Int_set.empty;
+    Some (Printf.sprintf "erased NAK ledger (%d entries forgotten)" n)
+  end

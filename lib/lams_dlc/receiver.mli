@@ -56,3 +56,16 @@ val checkpoints_sent : t -> int
 
 val stop : t -> unit
 (** Cease the periodic checkpoint schedule (end of link lifetime). *)
+
+val scramble_next_expected : t -> delta:int -> string option
+(** State-corruption injection point ({!Dlc.Corrupt}): shift the
+    expected frontier by [delta] (clamped at 0). Forward jumps swallow
+    in-flight frames; backward jumps re-NAK delivered ones. *)
+
+val poison_nak_ledger : t -> seqs:int list -> string option
+(** State-corruption injection point: insert phantom erroneous seqs
+    ([seqs] are offsets relative to [next_expected]) into the ledger. *)
+
+val truncate_nak_ledger : t -> string option
+(** State-corruption injection point: erase the entire error ledger,
+    cumulation history included — pending loss reports are forgotten. *)

@@ -471,3 +471,35 @@ let create engine ~params ~forward ~metrics ~probe =
   in
   Channel.Link.set_on_idle forward (fun () -> maybe_send t);
   t
+
+(* --- state-corruption surface (Dolev et al. self-stabilisation) ---------- *)
+
+let scramble_next_seq t ~delta =
+  if t.failed || t.stopped || delta < 1 then None
+  else begin
+    let before = t.next_seq in
+    t.next_seq <- t.next_seq + delta;
+    Some (Printf.sprintf "sender next_seq %d -> %d" before t.next_seq)
+  end
+
+let duplicate_buffer_entry t =
+  if t.failed || t.stopped then None
+  else begin
+    (* oldest live outstanding entry, per the coverage queue *)
+    let rec front () =
+      match Queue.peek_opt t.coverage with
+      | Some s when not (Hashtbl.mem t.outstanding s) ->
+          ignore (Queue.pop t.coverage : int);
+          front ()
+      | other -> other
+    in
+    match front () with
+    | None -> None
+    | Some seq ->
+        let entry = Hashtbl.find t.outstanding seq in
+        Queue.add entry.pend t.retx;
+        maybe_send t;
+        Some
+          (Printf.sprintf "duplicated unreleased seq %d into the retx queue"
+             seq)
+  end

@@ -92,3 +92,14 @@ val drain_unresolved : t -> unresolved list
     period is bounded, only frames inside it are [`Suspicious]; everything
     else has a definite verdict, so the network layer can re-route with
     zero loss and bounded (deduplicable) duplication. *)
+
+val scramble_next_seq : t -> delta:int -> string option
+(** State-corruption injection point ({!Dlc.Corrupt}): jump the next
+    wire number forward by [delta] (phantom gap the receiver will NAK).
+    Returns a description, or [None] on a failed/stopped sender. *)
+
+val duplicate_buffer_entry : t -> string option
+(** State-corruption injection point: re-queue the oldest unreleased
+    outstanding payload for an extra (renumbered) transmission, leaving
+    the original copy outstanding — a duplicated buffer entry. [None]
+    when nothing is outstanding. *)

@@ -28,3 +28,9 @@ val metrics : t -> Dlc.Metrics.t
 val as_dlc : t -> Dlc.Session.t
 (** The generic face. Its [offer]/[set_on_deliver]/[stop] drive this
     session; delivery delay is recorded automatically. *)
+
+val corrupt_surface : t -> Dlc.Corrupt.surface
+(** State-corruption injection points into this live session (all six
+    classes are supported): sequence-counter scrambles, NAK-ledger
+    poison/truncate, buffer duplication, and stale reverse-checkpoint
+    replay from a ring of recently sent control frames. *)

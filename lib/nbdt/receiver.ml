@@ -140,3 +140,32 @@ let missing_count t = Int_set.cardinal t.missing
 let reports_sent t = t.reports_sent
 
 let stop t = t.running <- false
+
+(* --- state-corruption surface (Dolev et al. self-stabilisation) ---------- *)
+
+let scramble_frontier t ~delta =
+  if not t.running then None
+  else begin
+    let before = t.frontier in
+    t.frontier <- max 0 (t.frontier + delta);
+    Some (Printf.sprintf "receiver frontier %d -> %d" before t.frontier)
+  end
+
+let poison_nak_ledger t ~seqs =
+  if not t.running then None
+  else begin
+    let abs = List.map (fun s -> max 0 (t.frontier + s)) seqs in
+    t.missing <-
+      List.fold_left (fun set s -> Int_set.add s set) t.missing abs;
+    Some
+      (Printf.sprintf "poisoned missing set with %s"
+         (String.concat "," (List.map string_of_int abs)))
+  end
+
+let truncate_nak_ledger t =
+  if not t.running then None
+  else begin
+    let n = Int_set.cardinal t.missing in
+    t.missing <- Int_set.empty;
+    Some (Printf.sprintf "erased missing set (%d entries forgotten)" n)
+  end

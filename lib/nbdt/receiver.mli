@@ -28,3 +28,16 @@ val missing_count : t -> int
 val reports_sent : t -> int
 
 val stop : t -> unit
+
+val scramble_frontier : t -> delta:int -> string option
+(** State-corruption injection point ({!Dlc.Corrupt}): shift the
+    received frontier by [delta] (clamped at 0). Forward jumps swallow
+    in-flight frames; backward jumps re-flag delivered ones as missing. *)
+
+val poison_nak_ledger : t -> seqs:int list -> string option
+(** State-corruption injection point: insert phantom numbers
+    ([seqs] are offsets relative to the frontier) into the missing set. *)
+
+val truncate_nak_ledger : t -> string option
+(** State-corruption injection point: erase the missing set — pending
+    loss reports are forgotten and the frames silently released. *)

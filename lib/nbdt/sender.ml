@@ -306,3 +306,23 @@ let create engine ~params ~forward ~metrics ~probe =
   in
   Channel.Link.set_on_idle forward (fun () -> maybe_send t);
   t
+
+(* --- state-corruption surface (Dolev et al. self-stabilisation) ---------- *)
+
+let scramble_next_seq t ~delta =
+  if t.failed || t.stopped || delta < 1 then None
+  else begin
+    let before = t.next_seq in
+    t.next_seq <- t.next_seq + delta;
+    Some (Printf.sprintf "sender next_seq %d -> %d" before t.next_seq)
+  end
+
+let duplicate_buffer_entry t =
+  if t.failed || t.stopped then None
+  else
+    match oldest_outstanding t with
+    | None -> None
+    | Some seq ->
+        Queue.add seq t.retx;
+        maybe_send t;
+        Some (Printf.sprintf "duplicated outstanding seq %d into the retx queue" seq)

@@ -42,3 +42,13 @@ val set_on_failure : t -> (unit -> unit) -> unit
 val offer_time_of_seq : t -> int -> float option
 
 val stop : t -> unit
+
+val scramble_next_seq : t -> delta:int -> string option
+(** State-corruption injection point ({!Dlc.Corrupt}): jump the next
+    stable number forward by [delta]; the skipped numbers become
+    permanently missing at the receiver and cycle through every report. *)
+
+val duplicate_buffer_entry : t -> string option
+(** State-corruption injection point: queue an extra (same-number)
+    retransmission of the oldest outstanding frame. [None] when nothing
+    is outstanding. *)

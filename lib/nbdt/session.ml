@@ -1,11 +1,18 @@
 type t = {
+  engine : Sim.Engine.t;
   sender : Sender.t;
   receiver : Receiver.t;
   metrics : Dlc.Metrics.t;
   probe : Dlc.Probe.t;
   name : string;
+  reverse : Channel.Link.t;
+  mutable reverse_ring : Frame.Wire.t list;
+      (* recent reverse-link status reports, newest first, for
+         stale-report replay injection *)
   mutable user_deliver : (payload:string -> unit) option;
 }
+
+let reverse_ring_depth = 8
 
 let create ?probe engine ~params ~duplex =
   let params =
@@ -28,7 +35,29 @@ let create ?probe engine ~params ~duplex =
     | Params.Multiphase -> "nbdt-multiphase"
     | Params.Continuous -> "nbdt-continuous"
   in
-  let t = { sender; receiver; metrics; probe; name; user_deliver = None } in
+  let t =
+    {
+      engine;
+      sender;
+      receiver;
+      metrics;
+      probe;
+      name;
+      reverse = duplex.Channel.Duplex.reverse;
+      reverse_ring = [];
+      user_deliver = None;
+    }
+  in
+  Channel.Link.add_tap duplex.Channel.Duplex.reverse (fun ev ->
+      match ev with
+      | Channel.Link.Tap_tx (Frame.Wire.Control _ as frame) ->
+          let rec take n = function
+            | [] -> []
+            | _ when n = 0 -> []
+            | x :: rest -> x :: take (n - 1) rest
+          in
+          t.reverse_ring <- take reverse_ring_depth (frame :: t.reverse_ring)
+      | _ -> ());
   Channel.Link.set_receiver duplex.Channel.Duplex.forward (fun rx ->
       Receiver.on_rx receiver rx);
   Channel.Link.set_receiver duplex.Channel.Duplex.reverse (fun rx ->
@@ -49,6 +78,41 @@ let receiver t = t.receiver
 let metrics t = t.metrics
 
 let probe t = t.probe
+
+let replay_reverse t ~copies ~back =
+  if copies < 1 then None
+  else
+    match t.reverse_ring with
+    | [] -> None
+    | ring ->
+        let n = List.length ring in
+        let frame = List.nth ring (min (max back 0) (n - 1)) in
+        (* defer the sends one zero-delay event: the injector publishes
+           State_corrupted only after this mutator returns, and the
+           suspect window must be open before the stale frames hit the
+           reverse-link taps *)
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:0. (fun () ->
+               for _ = 1 to copies do
+                 Channel.Link.send t.reverse frame
+               done)
+            : Sim.Engine.event_id);
+        Some
+          (Format.asprintf "replayed stale %a x%d (age %d)" Frame.Wire.pp
+             frame copies (min (max back 0) (n - 1)))
+
+let corrupt_surface t =
+  {
+    Dlc.Corrupt.scramble_send_seq =
+      (fun ~delta -> Sender.scramble_next_seq t.sender ~delta);
+    scramble_recv_seq =
+      (fun ~delta -> Receiver.scramble_frontier t.receiver ~delta);
+    poison_nak_ledger =
+      (fun ~seqs -> Receiver.poison_nak_ledger t.receiver ~seqs);
+    truncate_nak_ledger = (fun () -> Receiver.truncate_nak_ledger t.receiver);
+    duplicate_buffer_entry = (fun () -> Sender.duplicate_buffer_entry t.sender);
+    replay_reverse = (fun ~copies ~back -> replay_reverse t ~copies ~back);
+  }
 
 let as_dlc t =
   {

@@ -22,3 +22,8 @@ val receiver : t -> Receiver.t
 val metrics : t -> Dlc.Metrics.t
 
 val as_dlc : t -> Dlc.Session.t
+
+val corrupt_surface : t -> Dlc.Corrupt.surface
+(** State-corruption injection points into this live session. All
+    classes except carryover staleness (a handover-layer notion) are
+    supported; stale reverse replay re-sends captured status reports. *)

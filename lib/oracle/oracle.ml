@@ -22,6 +22,27 @@ type prec = {
 
 type nak_run = { mutable last_r : int; mutable count : int }
 
+(* Convergence mode (Dolev et al. self-stabilisation): each
+   State_corrupted probe event opens a suspect window. Violations inside
+   the window are recorded as tolerated anomalies instead of failures;
+   the window closes — with a Converged probe event carrying the
+   time-to-convergence — once [k] checkpoints have been emitted with the
+   anomalies stopped. [k = 0] never opens the window: every
+   post-injection anomaly stays a real violation (the tripwire). *)
+type convergence = {
+  k : int;
+  mutable window_open : float option;  (* injection time *)
+  mutable cps_since : int;  (* checkpoints since the last injection *)
+  mutable window_anomalies : int;
+  mutable last_anomaly : float;
+  mutable tolerated : violation list;  (* newest first *)
+  mutable tolerated_count : int;
+  mutable injections : int;
+  mutable declared : bool;  (* some window ended in a declared failure *)
+  mutable conv_times : float list;  (* newest first *)
+  mutable unconverged_at_finalize : bool;
+}
+
 type t = {
   profile : profile;
   name : string;
@@ -43,15 +64,32 @@ type t = {
   nak_runs : (int, nak_run) Hashtbl.t;
   mutable finalized : bool;
   mutable on_violation : (violation -> unit) option;
+  mutable convergence : convergence option;
+  mutable probe : Dlc.Probe.t option;  (* to publish Converged events *)
 }
 
 let max_recorded = 200
 
 let violate t ~time invariant detail =
-  t.violation_count <- t.violation_count + 1;
-  let v = { time; invariant; detail } in
-  if t.violation_count <= max_recorded then t.violations <- v :: t.violations;
-  match t.on_violation with None -> () | Some f -> f v
+  match t.convergence with
+  | Some c when c.window_open <> None || (c.injections > 0 && Float.is_nan time)
+    ->
+      (* suspect window, or a post-mortem (finalize-time, [nan]-stamped)
+         check after an injection — those aggregate over the whole run
+         and cannot be attributed to any one window: a tolerated
+         anomaly, not a failure *)
+      c.window_anomalies <- c.window_anomalies + 1;
+      c.tolerated_count <- c.tolerated_count + 1;
+      if (not (Float.is_nan time)) && time > c.last_anomaly then
+        c.last_anomaly <- time;
+      if c.tolerated_count <= max_recorded then
+        c.tolerated <- { time; invariant; detail } :: c.tolerated
+  | _ ->
+      t.violation_count <- t.violation_count + 1;
+      let v = { time; invariant; detail } in
+      if t.violation_count <= max_recorded then
+        t.violations <- v :: t.violations;
+      (match t.on_violation with None -> () | Some f -> f v)
 
 let create ?(name = "oracle") profile =
   {
@@ -75,9 +113,46 @@ let create ?(name = "oracle") profile =
     nak_runs = Hashtbl.create 256;
     finalized = false;
     on_violation = None;
+    convergence = None;
+    probe = None;
   }
 
 let set_on_violation t f = t.on_violation <- Some f
+
+let set_convergence t ~k =
+  if k < 0 then invalid_arg "Oracle.set_convergence: k must be >= 0";
+  t.convergence <-
+    Some
+      {
+        k;
+        window_open = None;
+        cps_since = 0;
+        window_anomalies = 0;
+        last_anomaly = neg_infinity;
+        tolerated = [];
+        tolerated_count = 0;
+        injections = 0;
+        declared = false;
+        conv_times = [];
+        unconverged_at_finalize = false;
+      }
+
+let close_window t c ~now ~emit =
+  match c.window_open with
+  | None -> ()
+  | Some t0 ->
+      let after =
+        if c.window_anomalies = 0 || c.last_anomaly < t0 then 0.
+        else c.last_anomaly -. t0
+      in
+      c.conv_times <- after :: c.conv_times;
+      c.window_open <- None;
+      if emit then
+        match t.probe with
+        | Some p ->
+            Dlc.Probe.emit p ~now
+              (Dlc.Probe.Converged { after; anomalies = c.window_anomalies })
+        | None -> ()
 
 let find_or_add t payload =
   match Hashtbl.find_opt t.payloads payload with
@@ -252,20 +327,52 @@ let on_probe_event t ~now ev =
           t.recovery_episodes <- (s, now) :: t.recovery_episodes;
           t.recovery_open <- None
       | None -> ())
-  | Failure_declared -> (
+  | Failure_declared ->
       (* an open recovery never completes; keep it open so late releases
          during drain stay exempt from the holding bound *)
-      match t.recovery_open with None -> t.recovery_open <- Some now | _ -> ())
+      (match t.recovery_open with
+      | None -> t.recovery_open <- Some now
+      | _ -> ());
+      (* a declared failure is a legitimate self-stabilisation outcome:
+         the suspect window closes without a Converged event *)
+      (match t.convergence with
+      | Some c when c.window_open <> None ->
+          c.declared <- true;
+          c.window_open <- None
+      | _ -> ())
   | Link_transition _ ->
       (* lifecycle bookkeeping only; the handover-level safety check
          lives in {!Transfer}, which watches payloads across sessions *)
       ()
-  | Cp_emitted _ ->
+  | Cp_emitted _ -> (
       (* checkpoint emission is checked on the reverse-link tap, which
-         sees the wire frame itself; the semantic event is for tracing *)
-      ()
+         sees the wire frame itself; here checkpoints only pace the
+         suspect window of convergence mode *)
+      match t.convergence with
+      | Some c when c.window_open <> None ->
+          c.cps_since <- c.cps_since + 1;
+          if c.cps_since >= c.k then close_window t c ~now ~emit:true
+      | _ -> ())
+  | State_corrupted _ -> (
+      match t.convergence with
+      | None -> ()
+      | Some c ->
+          c.injections <- c.injections + 1;
+          if c.k > 0 then begin
+            (match c.window_open with
+            | None ->
+                c.window_open <- Some now;
+                c.window_anomalies <- 0;
+                c.last_anomaly <- neg_infinity
+            | Some _ -> ());
+            (* a fresh injection restarts the clean-checkpoint count *)
+            c.cps_since <- 0
+          end)
+  | Converged _ -> ()
 
-let observe t probe = Dlc.Probe.subscribe probe (fun ~now ev -> on_probe_event t ~now ev)
+let observe t probe =
+  t.probe <- Some probe;
+  Dlc.Probe.subscribe probe (fun ~now ev -> on_probe_event t ~now ev)
 
 (* --- reverse-link (checkpoint emission) observation --------------------- *)
 
@@ -322,11 +429,15 @@ let on_reverse_tap t (ev : Channel.Link.tap_event) ~now =
   | _ -> ()
 
 let observe_reverse t link =
-  (* the tap carries no timestamp; read the emission clock lazily via the
-     checkpoint's own issue_time where available, else the last known
-     next event time is unnecessary — Tap_tx fires synchronously inside
+  (* the tap carries no timestamp; read the emission clock via the
+     checkpoint's own issue_time — Tap_tx fires synchronously inside
      Link.send, so the frame's issue_time (set at creation, same event)
-     is the current simulated instant for every frame we inspect. *)
+     is the current simulated instant for every frame the protocol sends
+     itself. The one exception is a stale frame replayed by the
+     corruption injector, whose issue_time is its original (older)
+     emission; that only skews the timestamp recorded on the resulting
+     anomaly, and toleration is decided by window state, never by this
+     clock. *)
   Channel.Link.add_tap link (fun ev ->
       let now =
         match ev with
@@ -344,6 +455,32 @@ let attach t ~probe ~duplex =
 let finalize t =
   if not t.finalized then begin
     t.finalized <- true;
+    (match t.convergence with
+    | Some c when c.window_open <> None ->
+        if c.window_anomalies = 0 then
+          (* injection with no observable anomaly before the run ended:
+             trivially converged *)
+          close_window t c ~now:nan ~emit:false
+        else begin
+          c.unconverged_at_finalize <- true;
+          c.window_open <- None;
+          t.violation_count <- t.violation_count + 1;
+          let v =
+            {
+              time = nan;
+              invariant = "non-convergence";
+              detail =
+                Printf.sprintf
+                  "suspect window still open at end of run: %d anomalies \
+                   after the last injection and only %d of %d clean \
+                   checkpoints"
+                  c.window_anomalies c.cps_since c.k;
+            }
+          in
+          if t.violation_count <= max_recorded then
+            t.violations <- v :: t.violations
+        end
+    | _ -> ());
     match t.profile with
     | Lams { c_depth; _ } ->
         Hashtbl.iter
@@ -363,6 +500,26 @@ let finalize t =
 let violations t = List.rev t.violations
 
 let ok t = t.violation_count = 0
+
+let convergence_times t =
+  match t.convergence with None -> [] | Some c -> List.rev c.conv_times
+
+let tolerated_anomalies t =
+  match t.convergence with None -> [] | Some c -> List.rev c.tolerated
+
+let tolerated_count t =
+  match t.convergence with None -> 0 | Some c -> c.tolerated_count
+
+let injections_seen t =
+  match t.convergence with None -> 0 | Some c -> c.injections
+
+let unconverged t =
+  match t.convergence with
+  | None -> false
+  | Some c -> c.unconverged_at_finalize || c.window_open <> None
+
+let failure_during_window t =
+  match t.convergence with None -> false | Some c -> c.declared
 
 let report t =
   if ok t then ""
@@ -430,6 +587,12 @@ module Transfer = struct
     mutable viols : violation list;  (* newest first *)
     mutable viol_count : int;
     mutable finalized : bool;
+    mutable conv : convergence option;
+    mutable probe : Dlc.Probe.t option;
+    casualties : (string, unit) Hashtbl.t;
+        (* payloads destroyed by state corruption; their loss is a
+           declared casualty, not a transfer violation *)
+    mutable casualties_lost : int;
   }
 
   let create ~name =
@@ -442,12 +605,49 @@ module Transfer = struct
       viols = [];
       viol_count = 0;
       finalized = false;
+      conv = None;
+      probe = None;
+      casualties = Hashtbl.create 16;
+      casualties_lost = 0;
     }
 
+  let set_convergence s ~k =
+    if k < 0 then invalid_arg "Oracle.Transfer.set_convergence: k must be >= 0";
+    s.conv <-
+      Some
+        {
+          k;
+          window_open = None;
+          cps_since = 0;
+          window_anomalies = 0;
+          last_anomaly = neg_infinity;
+          tolerated = [];
+          tolerated_count = 0;
+          injections = 0;
+          declared = false;
+          conv_times = [];
+          unconverged_at_finalize = false;
+        }
+
+  let declare_casualty s payload = Hashtbl.replace s.casualties payload ()
+
   let violate s ~time invariant detail =
-    s.viol_count <- s.viol_count + 1;
-    if s.viol_count <= max_recorded then
-      s.viols <- { time; invariant; detail } :: s.viols
+    (* unlike the per-session oracle there is no post-mortem tolerance
+       here: finalize-time losses attributable to corruption are exempted
+       one by one through the casualty ledger, so any remaining
+       transfer-loss is a real violation *)
+    match s.conv with
+    | Some c when c.window_open <> None ->
+        c.window_anomalies <- c.window_anomalies + 1;
+        c.tolerated_count <- c.tolerated_count + 1;
+        if (not (Float.is_nan time)) && time > c.last_anomaly then
+          c.last_anomaly <- time;
+        if c.tolerated_count <= max_recorded then
+          c.tolerated <- { time; invariant; detail } :: c.tolerated
+    | _ ->
+        s.viol_count <- s.viol_count + 1;
+        if s.viol_count <= max_recorded then
+          s.viols <- { time; invariant; detail } :: s.viols
 
   let find_or_add s payload =
     match Hashtbl.find_opt s.payloads payload with
@@ -459,12 +659,60 @@ module Transfer = struct
 
   let mark_suspicious s payload = (find_or_add s payload).suspicious <- true
 
+  let close_window s c ~now ~emit =
+    match c.window_open with
+    | None -> ()
+    | Some t0 ->
+        let after =
+          if c.window_anomalies = 0 || c.last_anomaly < t0 then 0.
+          else c.last_anomaly -. t0
+        in
+        c.conv_times <- after :: c.conv_times;
+        c.window_open <- None;
+        if emit then
+          match s.probe with
+          | Some p ->
+              Dlc.Probe.emit p ~now
+                (Dlc.Probe.Converged { after; anomalies = c.window_anomalies })
+          | None -> ()
+
   let observe s probe =
+    s.probe <- Some probe;
     Dlc.Probe.subscribe probe (fun ~now ev ->
         match (ev : Dlc.Probe.event) with
         | Offered { payload } ->
             let r = find_or_add s payload in
             r.offers <- r.offers + 1
+        | Released { payload; _ } -> (
+            (* a buffer slot freed while the state is suspect and the
+               payload was never delivered is a casualty candidate: the
+               corruption may have destroyed it outright (Dolev et al.
+               allow bounded casualties during stabilisation) *)
+            match s.conv with
+            | Some c when c.window_open <> None ->
+                if (find_or_add s payload).deliveries = 0 then
+                  declare_casualty s payload
+            | _ -> ())
+        | State_corrupted _ -> (
+            match s.conv with
+            | None -> ()
+            | Some c ->
+                c.injections <- c.injections + 1;
+                if c.k > 0 then begin
+                  (match c.window_open with
+                  | None ->
+                      c.window_open <- Some now;
+                      c.window_anomalies <- 0;
+                      c.last_anomaly <- neg_infinity
+                  | Some _ -> ());
+                  c.cps_since <- 0
+                end)
+        | Cp_emitted _ -> (
+            match s.conv with
+            | Some c when c.window_open <> None ->
+                c.cps_since <- c.cps_since + 1;
+                if c.cps_since >= c.k then close_window s c ~now ~emit:true
+            | _ -> ())
         | Delivered { payload; _ } ->
             let r = find_or_add s payload in
             r.deliveries <- r.deliveries + 1;
@@ -485,7 +733,13 @@ module Transfer = struct
                    (short payload) r.deliveries)
         | Link_transition { state = Dlc.Probe.Link_up } ->
             s.sessions_spanned <- s.sessions_spanned + 1
-        | Failure_declared -> s.failures_declared <- s.failures_declared + 1
+        | Failure_declared ->
+            s.failures_declared <- s.failures_declared + 1;
+            (match s.conv with
+            | Some c when c.window_open <> None ->
+                c.declared <- true;
+                c.window_open <- None
+            | _ -> ())
         | _ -> ())
 
   let on_sink s ~now key =
@@ -504,23 +758,72 @@ module Transfer = struct
   let finalize ?(retained = []) s =
     if not s.finalized then begin
       s.finalized <- true;
+      (match s.conv with
+      | Some c when c.window_open <> None ->
+          if c.window_anomalies = 0 then close_window s c ~now:nan ~emit:false
+          else begin
+            c.unconverged_at_finalize <- true;
+            c.window_open <- None;
+            s.viol_count <- s.viol_count + 1;
+            if s.viol_count <= max_recorded then
+              s.viols <-
+                {
+                  time = nan;
+                  invariant = "non-convergence";
+                  detail =
+                    Printf.sprintf
+                      "suspect window still open at end of run: %d anomalies \
+                       after the last injection and only %d of %d clean \
+                       checkpoints"
+                      c.window_anomalies c.cps_since c.k;
+                }
+                :: s.viols
+          end
+      | _ -> ());
       let kept = Hashtbl.create (List.length retained) in
       List.iter (fun p -> Hashtbl.replace kept p ()) retained;
       Hashtbl.iter
         (fun payload r ->
           if r.offers > 0 && r.deliveries = 0 && not (Hashtbl.mem kept payload)
           then
-            violate s ~time:nan "transfer-loss"
-              (Printf.sprintf
-                 "%s offered but neither delivered nor retained: lost across \
-                  the handover"
-                 (short payload)))
+            if Hashtbl.mem s.casualties payload then
+              (* destroyed by an injected corruption: a counted casualty
+                 of self-stabilisation, not a protocol violation *)
+              s.casualties_lost <- s.casualties_lost + 1
+            else
+              violate s ~time:nan "transfer-loss"
+                (Printf.sprintf
+                   "%s offered but neither delivered nor retained: lost \
+                    across the handover"
+                   (short payload)))
         s.payloads
     end
 
   let violations s = List.rev s.viols
 
   let ok s = s.viol_count = 0
+
+  let convergence_times s =
+    match s.conv with None -> [] | Some c -> List.rev c.conv_times
+
+  let tolerated_anomalies s =
+    match s.conv with None -> [] | Some c -> List.rev c.tolerated
+
+  let tolerated_count s =
+    match s.conv with None -> 0 | Some c -> c.tolerated_count
+
+  let injections_seen s =
+    match s.conv with None -> 0 | Some c -> c.injections
+
+  let unconverged s =
+    match s.conv with
+    | None -> false
+    | Some c -> c.unconverged_at_finalize || c.window_open <> None
+
+  let failure_during_window s =
+    match s.conv with None -> false | Some c -> c.declared
+
+  let casualties_lost s = s.casualties_lost
 
   let report s =
     if ok s then ""

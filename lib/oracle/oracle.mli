@@ -31,7 +31,19 @@
       [next_expected] never regresses.
 
     Violations are collected, not raised, so one run reports every
-    broken invariant; {!check} turns them into a test failure. *)
+    broken invariant; {!check} turns them into a test failure.
+
+    {b Convergence mode} ({!set_convergence}): for self-stabilisation
+    experiments that corrupt live session state on purpose (Dolev et
+    al.), every {!Dlc.Probe.State_corrupted} event opens a {e suspect
+    window} during which violations are downgraded to tolerated
+    anomalies. The window closes once [k] checkpoints have been emitted
+    since the last injection — a {!Dlc.Probe.Converged} event is then
+    published carrying the time from injection to the last anomaly — or
+    when the protocol declares failure (a legitimate stabilisation
+    outcome). [k = 0] never opens a window, so every post-injection
+    anomaly stays a real violation: the tripwire that proves the oracle
+    still bites. *)
 
 type profile =
   | Lams of { c_depth : int; holding_bound : float }
@@ -58,7 +70,38 @@ val set_on_violation : t -> (violation -> unit) -> unit
     flight recorder uses this to snapshot its ring at the first fault. *)
 
 val observe : t -> Dlc.Probe.t -> unit
-(** Subscribe to a session's semantic events. *)
+(** Subscribe to a session's semantic events. Also remembers the probe
+    so convergence mode can publish {!Dlc.Probe.Converged} events. *)
+
+val set_convergence : t -> k:int -> unit
+(** Enable convergence mode: tolerate a suspect window after each
+    injection and require invariants to be re-established within [k]
+    checkpoint emissions. Raises [Invalid_argument] when [k < 0].
+    Post-mortem (finalize-time) aggregate checks are tolerated whenever
+    at least one injection was seen, since they cannot be attributed to
+    any one window. *)
+
+val convergence_times : t -> float list
+(** Time-to-convergence of each closed suspect window, chronological:
+    the interval from injection to the last tolerated anomaly (0 when
+    the injection caused no observable anomaly). *)
+
+val tolerated_anomalies : t -> violation list
+(** Anomalies absorbed by suspect windows, chronological (capped like
+    {!violations}). *)
+
+val tolerated_count : t -> int
+
+val injections_seen : t -> int
+
+val unconverged : t -> bool
+(** True when a suspect window with anomalies was still open at
+    {!finalize} — the run ended before stabilisation; a
+    ["non-convergence"] violation is recorded too. *)
+
+val failure_during_window : t -> bool
+(** True when some suspect window was closed by a declared failure
+    rather than by [k] clean checkpoints. *)
 
 val observe_reverse : t -> Channel.Link.t -> unit
 (** Tap the reverse (receiver-to-sender) link to watch checkpoints and
@@ -136,6 +179,36 @@ module Transfer : sig
       same-window successor sessions) the stream crossed. *)
 
   val failures_declared : t -> int
+
+  val set_convergence : t -> k:int -> unit
+  (** Convergence mode across handovers, with the same window discipline
+      as {!Oracle.set_convergence}. Unlike the per-session oracle there
+      is no post-mortem tolerance: end-of-run losses attributable to
+      corruption must be exempted through {!declare_casualty} (or the
+      automatic released-while-suspect inference); any other
+      transfer-loss stays a real violation. *)
+
+  val declare_casualty : t -> string -> unit
+  (** Record a payload destroyed by an injected corruption (e.g. an
+      unresolved-buffer entry dropped from a poisoned
+      {!Handover.Carryover} snapshot). Its end-of-run loss is counted in
+      {!casualties_lost} instead of violating conservation. *)
+
+  val convergence_times : t -> float list
+
+  val tolerated_anomalies : t -> violation list
+
+  val tolerated_count : t -> int
+
+  val injections_seen : t -> int
+
+  val unconverged : t -> bool
+
+  val failure_during_window : t -> bool
+
+  val casualties_lost : t -> int
+  (** Offered payloads neither delivered nor retained whose loss was
+      covered by the casualty ledger. *)
 
   val finalize : ?retained:string list -> t -> unit
   (** End-of-run conservation check; [retained] lists payloads the

@@ -41,6 +41,10 @@ let kind_fields = function
         ("stop_go", Json.Bool stop_go);
         ("naks", Json.List (List.map (fun n -> Json.Int n) naks));
       ]
+  | Probe (Dlc.Probe.State_corrupted { klass; detail }) ->
+      [ ("class", Json.String klass); ("detail", Json.String detail) ]
+  | Probe (Dlc.Probe.Converged { after; anomalies }) ->
+      [ ("after", Json.Float after); ("anomalies", Json.Int anomalies) ]
   | Fault { link; action; frame } ->
       [
         ("link", Json.String link);
@@ -137,6 +141,14 @@ let kind_of_json j = function
         (Probe
            (Dlc.Probe.Cp_emitted
               { cp_seq; next_expected; enforced; stop_go; naks }))
+  | "state-corrupted" ->
+      let* klass = str_field j "class" in
+      let* detail = str_field j "detail" in
+      Ok (Probe (Dlc.Probe.State_corrupted { klass; detail }))
+  | "converged" ->
+      let* after = float_field j "after" in
+      let* anomalies = int_field j "anomalies" in
+      Ok (Probe (Dlc.Probe.Converged { after; anomalies }))
   | "fault" ->
       let* link = str_field j "link" in
       let* action = str_field j "action" in

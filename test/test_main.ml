@@ -33,4 +33,6 @@ let () =
       ("trace", Test_trace.suite);
       ("matrix-soak", Test_matrix_soak.suite);
       ("handover", Test_handover.suite);
+      ("corrupt", Test_corrupt.suite);
+      ("corrupt-soak", Test_corrupt_soak.suite);
     ]
