@@ -1,4 +1,4 @@
-type status = Improved | Regressed | Unchanged | Added | Removed
+type status = Improved | Regressed | Unchanged | Added | Removed | Noisy
 
 type delta = {
   name : string;
@@ -6,15 +6,21 @@ type delta = {
   baseline_ns : float option;
   current_ns : float option;
   ratio : float option;
+  baseline_mw : float option;
+  current_mw : float option;
+  alloc_regressed : bool;
 }
 
 type verdict = {
   threshold_pct : float;
+  min_r_square : float option;
   deltas : delta list;
   regressed : int;
   improved : int;
   added : int;
   removed : int;
+  noisy : int;
+  alloc_regressed : int;
 }
 
 let status_label = function
@@ -23,6 +29,7 @@ let status_label = function
   | Unchanged -> "unchanged"
   | Added -> "added"
   | Removed -> "removed"
+  | Noisy -> "noisy"
 
 let classify ~threshold_pct ~ratio =
   let up = 1. +. (threshold_pct /. 100.) in
@@ -30,10 +37,26 @@ let classify ~threshold_pct ~ratio =
   else if ratio < 1. /. up then Improved
   else Unchanged
 
-let run ?(threshold_pct = 20.) ~(baseline : Report.t) ~(current : Report.t) ()
-    =
+let finite_opt x = if Float.is_nan x then None else Some x
+
+(* Allocation regressions use the same relative threshold as time plus a
+   small absolute slack: minor-word counts are near-deterministic, but a
+   few words of measurement jitter (boxed counters in the harness) must
+   not flap the gate around zero-allocation subjects. *)
+let alloc_slack_words = 8.
+
+let run ?(threshold_pct = 20.) ?min_r_square ~(baseline : Report.t)
+    ~(current : Report.t) () =
   if not (threshold_pct > 0.) then
     invalid_arg "Compare.run: threshold_pct must be positive";
+  (match min_r_square with
+  | Some m when not (m >= 0. && m <= 1.) ->
+      invalid_arg "Compare.run: min_r_square must be in [0,1]"
+  | _ -> ());
+  let too_noisy (s : Report.subject) =
+    (* nan r_square (fit not computed) is not evidence of noise *)
+    match min_r_square with Some m -> s.Report.r_square < m | None -> false
+  in
   let matched =
     List.map
       (fun (b : Report.subject) ->
@@ -45,15 +68,34 @@ let run ?(threshold_pct = 20.) ~(baseline : Report.t) ~(current : Report.t) ()
               baseline_ns = Some b.Report.ns_per_run;
               current_ns = None;
               ratio = None;
+              baseline_mw = finite_opt b.Report.minor_words_per_run;
+              current_mw = None;
+              alloc_regressed = false;
             }
         | Some c ->
             let ratio = c.Report.ns_per_run /. b.Report.ns_per_run in
+            let status =
+              if too_noisy b || too_noisy c then Noisy
+              else classify ~threshold_pct ~ratio
+            in
+            let baseline_mw = finite_opt b.Report.minor_words_per_run in
+            let current_mw = finite_opt c.Report.minor_words_per_run in
+            let alloc_regressed =
+              (* only gate when both sides measured allocation *)
+              match (baseline_mw, current_mw) with
+              | Some bw, Some cw ->
+                  cw > (bw *. (1. +. (threshold_pct /. 100.))) +. alloc_slack_words
+              | _ -> false
+            in
             {
               name = b.Report.name;
-              status = classify ~threshold_pct ~ratio;
+              status;
               baseline_ns = Some b.Report.ns_per_run;
               current_ns = Some c.Report.ns_per_run;
               ratio = Some ratio;
+              baseline_mw;
+              current_mw;
+              alloc_regressed;
             })
       baseline.Report.subjects
   in
@@ -70,6 +112,9 @@ let run ?(threshold_pct = 20.) ~(baseline : Report.t) ~(current : Report.t) ()
                 baseline_ns = None;
                 current_ns = Some c.Report.ns_per_run;
                 ratio = None;
+                baseline_mw = None;
+                current_mw = finite_opt c.Report.minor_words_per_run;
+                alloc_regressed = false;
               })
       current.Report.subjects
   in
@@ -77,18 +122,29 @@ let run ?(threshold_pct = 20.) ~(baseline : Report.t) ~(current : Report.t) ()
   let count st = List.length (List.filter (fun d -> d.status = st) deltas) in
   {
     threshold_pct;
+    min_r_square;
     deltas;
     regressed = count Regressed;
     improved = count Improved;
     added = count Added;
     removed = count Removed;
+    noisy = count Noisy;
+    alloc_regressed =
+      List.length (List.filter (fun (d : delta) -> d.alloc_regressed) deltas);
   }
 
-let failed v = v.regressed > 0
+let failed v = v.regressed > 0 || v.alloc_regressed > 0
 
 let ns_cell = function
   | None -> "-"
   | Some ns -> Printf.sprintf "%.1f" ns
+
+let mw_cell d =
+  match d.current_mw with
+  | None -> "-"
+  | Some w ->
+      if d.alloc_regressed then Printf.sprintf "%.1f!" w
+      else Printf.sprintf "%.1f" w
 
 let ratio_cell = function
   | None -> "-"
@@ -97,7 +153,8 @@ let ratio_cell = function
 let pp ppf v =
   let table =
     Stats.Table.create
-      ~header:[ "subject"; "baseline ns"; "current ns"; "delta"; "status" ]
+      ~header:
+        [ "subject"; "baseline ns"; "current ns"; "delta"; "minor w"; "status" ]
   in
   List.iter
     (fun d ->
@@ -107,11 +164,25 @@ let pp ppf v =
           ns_cell d.baseline_ns;
           ns_cell d.current_ns;
           ratio_cell d.ratio;
+          mw_cell d;
           status_label d.status;
         ])
     v.deltas;
   Format.fprintf ppf "%a" Stats.Table.pp table;
+  List.iter
+    (fun (d : delta) ->
+      if d.alloc_regressed then
+        Format.fprintf ppf
+          "ALLOC REGRESSED %s: %.1f -> %.1f minor words/run@." d.name
+          (Option.value ~default:nan d.baseline_mw)
+          (Option.value ~default:nan d.current_mw))
+    v.deltas;
   Format.fprintf ppf
-    "threshold ±%.0f%%: %d regressed, %d improved, %d added, %d removed — %s@."
-    v.threshold_pct v.regressed v.improved v.added v.removed
+    "threshold ±%.0f%%%s: %d regressed, %d improved, %d added, %d removed, %d \
+     noisy, %d alloc-regressed — %s@."
+    v.threshold_pct
+    (match v.min_r_square with
+    | Some m -> Printf.sprintf " (min r² %.2f)" m
+    | None -> "")
+    v.regressed v.improved v.added v.removed v.noisy v.alloc_regressed
     (if failed v then "FAIL" else "ok")

@@ -6,10 +6,24 @@
     {!Unchanged}. Subjects present on only one side are {!Added} /
     {!Removed} — reported, but not failures, because the benchmark suite
     is expected to grow across PRs (refresh the baseline when it does;
-    see EXPERIMENTS.md). The gate fails ({!failed}) iff at least one
-    subject regressed. *)
+    see EXPERIMENTS.md).
 
-type status = Improved | Regressed | Unchanged | Added | Removed
+    Two orthogonal refinements protect the gate's signal:
+
+    - {b Noise rejection}: with [min_r_square] set, a matched subject
+      whose OLS fit on either side has [r_square] below the bound is
+      {!Noisy} — its timing estimate is untrustworthy, so it is reported
+      but excluded from the pass/fail decision (instead of silently
+      gating on a garbage [ns_per_run]).
+    - {b Allocation}: when both sides carry [minor_words_per_run], an
+      increase beyond the same relative threshold (plus a few words of
+      absolute slack) marks the delta [alloc_regressed] — allocation
+      regressions fail the gate even if timing passed, and vice versa.
+
+    The gate fails ({!failed}) iff at least one subject regressed in
+    time or allocation. *)
+
+type status = Improved | Regressed | Unchanged | Added | Removed | Noisy
 
 type delta = {
   name : string;
@@ -17,24 +31,43 @@ type delta = {
   baseline_ns : float option;  (** [None] for {!Added} *)
   current_ns : float option;  (** [None] for {!Removed} *)
   ratio : float option;  (** current/baseline; [None] unless both sides exist *)
+  baseline_mw : float option;
+      (** baseline minor words/run; [None] when the baseline predates
+          allocation counters *)
+  current_mw : float option;  (** current minor words/run *)
+  alloc_regressed : bool;
+      (** allocation grew beyond threshold (only possible when both
+          sides measured it) *)
 }
 
 type verdict = {
   threshold_pct : float;
+  min_r_square : float option;
   deltas : delta list;  (** baseline order, then added subjects *)
   regressed : int;
   improved : int;
   added : int;
   removed : int;
+  noisy : int;
+  alloc_regressed : int;
 }
 
 val run :
-  ?threshold_pct:float -> baseline:Report.t -> current:Report.t -> unit -> verdict
+  ?threshold_pct:float ->
+  ?min_r_square:float ->
+  baseline:Report.t ->
+  current:Report.t ->
+  unit ->
+  verdict
 (** [threshold_pct] defaults to [20.]; it must be positive
-    ([Invalid_argument] otherwise). *)
+    ([Invalid_argument] otherwise). [min_r_square] (off by default) must
+    be in [[0,1]]; subjects with [nan] [r_square] are never flagged
+    noisy — absence of a fit is not evidence of a bad one. *)
 
 val failed : verdict -> bool
-(** True iff [regressed > 0]. *)
+(** True iff [regressed > 0 || alloc_regressed > 0]. *)
 
 val pp : Format.formatter -> verdict -> unit
-(** Render the comparison as a {!Stats.Table} plus a one-line summary. *)
+(** Render the comparison as a {!Stats.Table} (now including a current
+    minor-words column, ["!"]-marked on allocation regressions) plus a
+    one-line summary. *)

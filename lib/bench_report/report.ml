@@ -5,6 +5,7 @@ type subject = {
   mean_ns : float;
   stddev_ns : float;
   samples : int;
+  minor_words_per_run : float;
 }
 
 type meta = {
@@ -47,7 +48,8 @@ let collect_meta ~quota_s ~limit =
     limit;
   }
 
-let subject_of_samples ~name ~ns_per_run ~r_square ~ns_samples =
+let subject_of_samples ?(minor_words_per_run = nan) ~name ~ns_per_run
+    ~r_square ~ns_samples () =
   let acc = Stats.Online.create () in
   List.iter (Stats.Online.add acc) ns_samples;
   {
@@ -57,20 +59,29 @@ let subject_of_samples ~name ~ns_per_run ~r_square ~ns_samples =
     mean_ns = Stats.Online.mean acc;
     stddev_ns = Stats.Online.stddev acc;
     samples = Stats.Online.count acc;
+    minor_words_per_run;
   }
 
 (* --- JSON --------------------------------------------------------------- *)
 
 let subject_to_json s =
+  (* [minor_words_per_run] is optional in the schema (nan = not
+     measured): older reports, BENCH_seed.json included, simply lack the
+     key, and nan is not representable in JSON anyway. *)
+  let alloc =
+    if Float.is_nan s.minor_words_per_run then []
+    else [ ("minor_words_per_run", Json.Float s.minor_words_per_run) ]
+  in
   Json.Obj
-    [
-      ("name", Json.String s.name);
-      ("ns_per_run", Json.Float s.ns_per_run);
-      ("r_square", Json.Float s.r_square);
-      ("mean_ns", Json.Float s.mean_ns);
-      ("stddev_ns", Json.Float s.stddev_ns);
-      ("samples", Json.Int s.samples);
-    ]
+    ([
+       ("name", Json.String s.name);
+       ("ns_per_run", Json.Float s.ns_per_run);
+       ("r_square", Json.Float s.r_square);
+       ("mean_ns", Json.Float s.mean_ns);
+       ("stddev_ns", Json.Float s.stddev_ns);
+       ("samples", Json.Int s.samples);
+     ]
+    @ alloc)
 
 let meta_to_json m =
   Json.Obj
@@ -106,7 +117,12 @@ let subject_of_json j =
   let* mean_ns = field ~what Json.to_float "mean_ns" j in
   let* stddev_ns = field ~what Json.to_float "stddev_ns" j in
   let* samples = field ~what Json.to_int "samples" j in
-  Ok { name; ns_per_run; r_square; mean_ns; stddev_ns; samples }
+  let minor_words_per_run =
+    match Option.bind (Json.member "minor_words_per_run" j) Json.to_float with
+    | Some w -> w
+    | None -> nan
+  in
+  Ok { name; ns_per_run; r_square; mean_ns; stddev_ns; samples; minor_words_per_run }
 
 let meta_of_json j =
   let what = "meta" in

@@ -14,6 +14,11 @@ type subject = {
   mean_ns : float;  (** per-sample mean of ns/run *)
   stddev_ns : float;  (** per-sample stddev of ns/run *)
   samples : int;  (** number of raw measurements behind the estimate *)
+  minor_words_per_run : float;
+      (** mean minor-heap words allocated per call ([Gc.minor_words]
+          delta over a measured loop); [nan] when not measured. Optional
+          in the JSON (absent key = [nan]), so schema-1 files written
+          before the counter existed still read. *)
 }
 
 type meta = {
@@ -36,9 +41,16 @@ val collect_meta : quota_s:float -> limit:int -> meta
     degrade to ["unknown"]. *)
 
 val subject_of_samples :
-  name:string -> ns_per_run:float -> r_square:float -> ns_samples:float list -> subject
+  ?minor_words_per_run:float ->
+  name:string ->
+  ns_per_run:float ->
+  r_square:float ->
+  ns_samples:float list ->
+  unit ->
+  subject
 (** Fold per-sample ns/run observations into a {!subject} via
-    {!Stats.Online}. *)
+    {!Stats.Online}. [minor_words_per_run] defaults to [nan] (not
+    measured). *)
 
 val to_json : t -> Json.t
 

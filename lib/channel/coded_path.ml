@@ -30,8 +30,10 @@ let coded_bits t frame =
 
 let transmit t frame =
   let code = code_for t frame in
-  let clean_buf, clean_len = Frame.Codec.encode_scratch t.scratch frame in
-  let clean_bytes = Bytes.sub_string clean_buf 0 clean_len in
+  let clean_len = Frame.Codec.encode_scratch_into t.scratch frame in
+  let clean_bytes =
+    Bytes.sub_string (Frame.Codec.scratch_buffer t.scratch) 0 clean_len
+  in
   let data_bits = 8 * clean_len in
   let clean_coded = code.Fec.Code.encode (Fec.Bitbuf.of_string clean_bytes) in
   let n = Fec.Bitbuf.length clean_coded in

@@ -11,10 +11,21 @@ type ge = {
   mutable state : ge_state;
 }
 
-type kind =
-  | Perfect
-  | Uniform of { ber : float; frame_loss : float }
-  | Ge of ge
+type uniform = {
+  ber : float;
+  frame_loss : float;
+  (* Memoised P[any error in n bits] for the last two distinct bit
+     counts seen. Header and payload sizes are constant on a steady
+     link, so the per-frame expm1/log1p pair collapses to two table
+     hits; two slots mean the alternating header/payload queries never
+     evict each other. Pure cache: safe to share, cheap to rebuild. *)
+  mutable memo_bits1 : int;
+  mutable memo_p1 : float;
+  mutable memo_bits2 : int;
+  mutable memo_p2 : float;
+}
+
+type kind = Perfect | Uniform of uniform | Ge of ge
 
 type t = kind
 
@@ -27,7 +38,15 @@ let check_prob name p =
 let uniform ?(frame_loss = 0.) ~ber () =
   check_prob "ber" ber;
   check_prob "frame_loss" frame_loss;
-  Uniform { ber; frame_loss }
+  Uniform
+    {
+      ber;
+      frame_loss;
+      memo_bits1 = -1;
+      memo_p1 = 0.;
+      memo_bits2 = -1;
+      memo_p2 = 0.;
+    }
 
 let gilbert_elliott ?(frame_loss = 0.) ~ber_good ~ber_bad ~mean_burst_bits
     ~mean_gap_bits () =
@@ -52,6 +71,23 @@ let p_any_error ~ber ~bits =
   if ber <= 0. || bits <= 0 then 0.
   else if ber >= 1. then 1.
   else -.Float.expm1 (float_of_int bits *. Float.log1p (-.ber))
+
+let uniform_p u ~bits =
+  if bits = u.memo_bits1 then u.memo_p1
+  else if bits = u.memo_bits2 then u.memo_p2
+  else begin
+    let p = p_any_error ~ber:u.ber ~bits in
+    u.memo_bits2 <- u.memo_bits1;
+    u.memo_p2 <- u.memo_p1;
+    u.memo_bits1 <- bits;
+    u.memo_p1 <- p;
+    p
+  end
+
+(* Preallocated fate blocks: drawing a Corrupt fate must not allocate on
+   the per-frame path. *)
+let corrupt_header = Corrupt { header = true }
+let corrupt_payload = Corrupt { header = false }
 
 (* Walk a Gilbert-Elliott chain across [bits] bits; return whether any
    bit error occurred. Sojourn lengths are geometric, so we jump from
@@ -105,17 +141,17 @@ let advance t rng ~bits =
 let fate t rng ~header_bits ~payload_bits =
   match t with
   | Perfect -> Clean
-  | Uniform { ber; frame_loss } ->
-      if frame_loss > 0. && Sim.Rng.bernoulli rng ~p:frame_loss then Lost
+  | Uniform u ->
+      if u.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:u.frame_loss then Lost
       else begin
         let header_bad =
-          Sim.Rng.bernoulli rng ~p:(p_any_error ~ber ~bits:header_bits)
+          Sim.Rng.bernoulli rng ~p:(uniform_p u ~bits:header_bits)
         in
         let payload_bad =
-          Sim.Rng.bernoulli rng ~p:(p_any_error ~ber ~bits:payload_bits)
+          Sim.Rng.bernoulli rng ~p:(uniform_p u ~bits:payload_bits)
         in
-        if header_bad then Corrupt { header = true }
-        else if payload_bad then Corrupt { header = false }
+        if header_bad then corrupt_header
+        else if payload_bad then corrupt_payload
         else Clean
       end
   | Ge g ->
@@ -127,10 +163,114 @@ let fate t rng ~header_bits ~payload_bits =
       else begin
         let header_bad = ge_any_error g rng ~bits:header_bits in
         let payload_bad = ge_any_error g rng ~bits:payload_bits in
-        if header_bad then Corrupt { header = true }
-        else if payload_bad then Corrupt { header = false }
+        if header_bad then corrupt_header
+        else if payload_bad then corrupt_payload
         else Clean
       end
+
+(* --- batched frame fates ------------------------------------------------ *)
+
+(* Gilbert-Elliott over n consecutive frames, vectorised per burst: the
+   sojourn schedule is walked once across the whole span, so a sojourn
+   covering many frames costs one geometric draw total instead of one
+   per frame segment, and P[any error in a full segment] is memoised per
+   chain state. Statistically identical to n sequential [fate] calls but
+   a different draw stream (documented in the .mli). *)
+let ge_fates_into g rng ~header_bits ~payload_bits dst ~n =
+  (* bits left in the current sojourn; max_int encodes "never leaves" *)
+  let sojourn_left = ref 0 in
+  (* per-state memo of P[any error in bits] for the two hot segment
+     sizes; partial segments at sojourn edges fall through to
+     [p_any_error] directly *)
+  let memo_bits_g = ref (-1) and memo_p_g = ref 0. in
+  let memo_bits_b = ref (-1) and memo_p_b = ref 0. in
+  let[@inline] seg_p ber bits =
+    match g.state with
+    | Good ->
+        if bits = !memo_bits_g then !memo_p_g
+        else begin
+          let p = p_any_error ~ber ~bits in
+          memo_bits_g := bits;
+          memo_p_g := p;
+          p
+        end
+    | Bad ->
+        if bits = !memo_bits_b then !memo_p_b
+        else begin
+          let p = p_any_error ~ber ~bits in
+          memo_bits_b := bits;
+          memo_p_b := p;
+          p
+        end
+  in
+  let span_error bits =
+    let errored = ref false in
+    let remaining = ref bits in
+    while !remaining > 0 do
+      if !sojourn_left = 0 then begin
+        let p_leave =
+          match g.state with Good -> g.p_leave_good | Bad -> g.p_leave_bad
+        in
+        sojourn_left :=
+          if p_leave <= 0. then max_int else Sim.Rng.geometric rng ~p:p_leave
+      end;
+      let here = min !sojourn_left !remaining in
+      let ber = match g.state with Good -> g.ber_good | Bad -> g.ber_bad in
+      if (not !errored) && Sim.Rng.bernoulli rng ~p:(seg_p ber here) then
+        errored := true;
+      remaining := !remaining - here;
+      if !sojourn_left <> max_int then begin
+        sojourn_left := !sojourn_left - here;
+        if !sojourn_left = 0 then
+          g.state <- (match g.state with Good -> Bad | Bad -> Good)
+      end
+    done;
+    !errored
+  in
+  for i = 0 to n - 1 do
+    if g.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:g.frame_loss then begin
+      ignore (span_error (header_bits + payload_bits) : bool);
+      Array.unsafe_set dst i Lost
+    end
+    else begin
+      let header_bad = span_error header_bits in
+      let payload_bad = span_error payload_bits in
+      Array.unsafe_set dst i
+        (if header_bad then corrupt_header
+         else if payload_bad then corrupt_payload
+         else Clean)
+    end
+  done
+
+let fates_into t rng ~header_bits ~payload_bits dst ~n =
+  if n < 0 || n > Array.length dst then
+    invalid_arg "Error_model.fates_into: n out of range";
+  match t with
+  | Perfect -> Array.fill dst 0 n Clean
+  | Uniform u ->
+      (* probabilities hoisted out of the loop; the bernoulli sequence is
+         exactly the one n sequential [fate] calls would draw *)
+      let p_h = uniform_p u ~bits:header_bits in
+      let p_p = uniform_p u ~bits:payload_bits in
+      for i = 0 to n - 1 do
+        if u.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:u.frame_loss then
+          Array.unsafe_set dst i Lost
+        else begin
+          let header_bad = Sim.Rng.bernoulli rng ~p:p_h in
+          let payload_bad = Sim.Rng.bernoulli rng ~p:p_p in
+          Array.unsafe_set dst i
+            (if header_bad then corrupt_header
+             else if payload_bad then corrupt_payload
+             else Clean)
+        end
+      done
+  | Ge g -> ge_fates_into g rng ~header_bits ~payload_bits dst ~n
+
+let fates t rng ~header_bits ~payload_bits ~n =
+  if n < 0 then invalid_arg "Error_model.fates: n out of range";
+  let dst = Array.make (max n 1) Clean in
+  fates_into t rng ~header_bits ~payload_bits dst ~n;
+  if Array.length dst = n then dst else Array.sub dst 0 n
 
 (* Uniform errors in [offset, offset+len): sample a binomial count, then
    distinct positions. For simulation-scale error counts (a handful per
@@ -185,7 +325,7 @@ let error_positions t rng ~bits =
 let frame_error_prob t ~bits =
   match t with
   | Perfect -> 0.
-  | Uniform { ber; frame_loss } ->
+  | Uniform { ber; frame_loss; _ } ->
       let p_err = p_any_error ~ber ~bits in
       frame_loss +. ((1. -. frame_loss) *. p_err)
   | Ge g ->
@@ -204,12 +344,12 @@ let ber_for_frame_error_prob ~bits ~fer =
 
 let copy = function
   | Perfect -> Perfect
-  | Uniform u -> Uniform u
+  | Uniform u -> Uniform { u with memo_bits1 = u.memo_bits1 }
   | Ge g -> Ge { g with state = g.state }
 
 let describe = function
   | Perfect -> "perfect"
-  | Uniform { ber; frame_loss } ->
+  | Uniform { ber; frame_loss; _ } ->
       Printf.sprintf "uniform(ber=%g, loss=%g)" ber frame_loss
   | Ge g ->
       Printf.sprintf "gilbert-elliott(good=%g, bad=%g, burst=%.0fb, gap=%.0fb)"

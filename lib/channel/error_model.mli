@@ -44,7 +44,34 @@ val gilbert_elliott :
 
 val fate : t -> Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate
 (** Draw the fate of one frame and advance burst state by
-    [header_bits + payload_bits]. *)
+    [header_bits + payload_bits]. For [uniform], the per-frame error
+    probability is memoised by bit count, so steady links (constant
+    header/payload sizes) skip the [expm1]/[log1p] pair after the first
+    frame; the draw stream is unchanged. *)
+
+val fates_into :
+  t -> Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate array -> n:int -> unit
+(** [fates_into t rng ~header_bits ~payload_bits dst ~n] draws the fates
+    of [n] consecutive identically-sized frames into [dst.(0..n-1)],
+    advancing burst state across the whole span — the bulk entry point
+    for sweep-style consumers (residual-FER loops, long trace replays)
+    that would otherwise pay per-frame call and sampling overhead.
+    Given a caller-provided [dst] the only allocation left is float
+    boxing at the probability-draw boundaries (a few minor words per
+    frame on non-flambda builds).
+
+    For [perfect] and [uniform] the draws are stream-identical to [n]
+    successive {!fate} calls. For Gilbert–Elliott the batch is
+    vectorised per burst: the sojourn schedule is walked once across the
+    span (one geometric draw per sojourn rather than per frame segment),
+    so the distribution matches sequential {!fate} calls but the draw
+    stream differs — do not mix the two on a path that must replay a
+    recorded trace byte-for-byte. Raises [Invalid_argument] if
+    [n < 0 || n > Array.length dst]. *)
+
+val fates : t -> Sim.Rng.t -> header_bits:int -> payload_bits:int -> n:int -> fate array
+(** Convenience wrapper around {!fates_into} that allocates the result
+    array. *)
 
 val advance : t -> Sim.Rng.t -> bits:int -> unit
 (** Advance the burst-state chain as if [bits] bit-times passed with

@@ -106,14 +106,19 @@ let set_down t = t.up <- false
 
 (* Split a frame's bits into header vs payload for the error model: for
    I-frames the header is the overhead portion; control frames are all
-   header (any damage makes them undecodable). *)
-let bit_split frame =
+   header (any damage makes them undecodable). Two scalar functions
+   rather than one returning a pair — this runs once per delivered frame
+   and must not allocate. *)
+let header_bits_of frame =
   match frame with
-  | Frame.Wire.Data i ->
-      ( 8 * Frame.Wire.iframe_overhead_bytes,
-        8 * String.length i.Frame.Iframe.payload )
+  | Frame.Wire.Data _ -> 8 * Frame.Wire.iframe_overhead_bytes
   | Frame.Wire.Control _ | Frame.Wire.Hdlc_control _ ->
-      (Frame.Wire.size_bits frame, 0)
+      Frame.Wire.size_bits frame
+
+let payload_bits_of frame =
+  match frame with
+  | Frame.Wire.Data i -> 8 * String.length i.Frame.Iframe.payload
+  | Frame.Wire.Control _ | Frame.Wire.Hdlc_control _ -> 0
 
 let error_model t frame =
   if Frame.Wire.is_control frame then t.cframe_error else t.iframe_error
@@ -124,7 +129,8 @@ let deliver t frame ~t_sent =
     tap t (Tap_lost frame)
   end
   else begin
-    let header_bits, payload_bits = bit_split frame in
+    let header_bits = header_bits_of frame in
+    let payload_bits = payload_bits_of frame in
     (* burst state evolved during any idle gap since the last frame *)
     let now = Sim.Engine.now t.engine in
     let span_bits = (now -. t.last_fate_at) *. t.data_rate_bps in

@@ -48,6 +48,8 @@ let create () = { handlers = [] }
 
 let subscribe t f = t.handlers <- t.handlers @ [ f ]
 
+let active t = t.handlers <> []
+
 let emit t ~now event =
   match t.handlers with
   | [] -> ()

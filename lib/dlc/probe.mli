@@ -73,4 +73,11 @@ val create : unit -> t
 val subscribe : t -> (now:float -> event -> unit) -> unit
 (** Handlers fire synchronously, in subscription order, at emission. *)
 
+val active : t -> bool
+(** [true] iff at least one handler is subscribed. Emitting to an
+    inactive probe is a no-op, but the event payload itself is
+    constructed (allocated) at the call site — per-frame emitters guard
+    with [if Probe.active p then emit ...] so unobserved sessions run
+    allocation-free. *)
+
 val emit : t -> now:float -> event -> unit

@@ -4,6 +4,10 @@ type t = { mutable data : Bytes.t; mutable len : int }
 
 let create () = { data = Bytes.make 16 '\000'; len = 0 }
 
+let make n =
+  if n < 0 then invalid_arg "Bitbuf.make: negative length";
+  { data = Bytes.make (max 16 ((n + 7) / 8)) '\000'; len = n }
+
 let capacity t = 8 * Bytes.length t.data
 
 let ensure t bits =

@@ -8,6 +8,11 @@ type t
 
 val create : unit -> t
 
+val make : int -> t
+(** [make n] is a vector of [n] zero bits, allocated in one shot —
+    the hot-path constructor for coders that know their output length
+    up front ({!set} the bits in place rather than {!push}ing). *)
+
 val of_string : string -> t
 (** Bits of the string, MSB-first per byte. *)
 

@@ -7,7 +7,12 @@
     flush bits so the trellis terminates in the all-zero state; the
     decoder exploits that.
 
-    Complexity: encode O(n), decode O(n * 2^(k-1)). *)
+    Complexity: encode O(n), decode O(n * 2^(k-1)) with a table-driven
+    add-compare-select inner loop (branch metrics precomputed at
+    {!create}, path metrics in flat int arrays, survivors bit-packed in
+    a flat [Bytes]). All tables are immutable after {!create} and all
+    decode state is per-call, so one [t] is safe to share across
+    domains. *)
 
 type t
 
@@ -26,6 +31,13 @@ val decode : t -> Bitbuf.t -> data_bits:int -> Bitbuf.t
     corrupted code sequence; returns the recovered [data_bits] message
     bits. Raises [Invalid_argument] if the coded length does not equal
     [2 * (data_bits + constraint_length - 1)]. *)
+
+val decode_reference : t -> Bitbuf.t -> data_bits:int -> Bitbuf.t
+(** The original expand-all-predecessors Viterbi, kept as the
+    differential oracle for {!decode}: same tie-breaking (lowest
+    predecessor state wins), so the two agree bit-for-bit on every
+    input, including noise beyond the correction radius. Slow — test
+    use only. *)
 
 val coded_bits : t -> data_bits:int -> int
 

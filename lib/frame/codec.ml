@@ -26,8 +26,6 @@ let put_u16 b pos v = Bytes.set_uint16_be b pos v
 
 let put_u32 b pos v = Bytes.set_int32_be b pos (Int32.of_int v)
 
-let put_i32 b pos v = Bytes.set_int32_be b pos v
-
 let put_f64 b pos v = Bytes.set_int64_be b pos (Int64.bits_of_float v)
 
 let get_u8 b pos = Bytes.get_uint8 b pos
@@ -35,8 +33,6 @@ let get_u8 b pos = Bytes.get_uint8 b pos
 let get_u16 b pos = Bytes.get_uint16_be b pos
 
 let get_u32 b pos = Int32.to_int (Bytes.get_int32_be b pos) land 0xFFFFFFFF
-
-let get_i32 b pos = Bytes.get_int32_be b pos
 
 let get_f64 b pos = Int64.float_of_bits (Bytes.get_int64_be b pos)
 
@@ -54,7 +50,7 @@ let encode_into frame b ~pos:base =
       put_u16 b (base + 5) len;
       put_u16 b (base + 7) (Crc.crc16 b ~pos:base ~len:7);
       Bytes.blit_string i.Iframe.payload 0 b (base + 9) len;
-      put_i32 b (base + 9 + len) (Crc.crc32 b ~pos:(base + 9) ~len)
+      put_u32 b (base + 9 + len) (Crc.crc32_int b ~pos:(base + 9) ~len)
   | Wire.Control (Cframe.Checkpoint c) ->
       let n = List.length c.Cframe.naks in
       put_u8 b (base + 0) tag_checkpoint;
@@ -95,11 +91,20 @@ type scratch = { mutable buf : Bytes.t }
 
 let create_scratch ?(capacity = 2048) () = { buf = Bytes.create (max 16 capacity) }
 
-let encode_scratch scratch frame =
+(* Returns only the length so the steady-state path (buffer already big
+   enough) allocates nothing at all — not even the result pair. The
+   buffer is reached via [scratch_buffer]. *)
+let encode_scratch_into scratch frame =
   let size = Wire.size_bytes frame in
   if Bytes.length scratch.buf < size then
     scratch.buf <- Bytes.create (max size (2 * Bytes.length scratch.buf));
   let _ = encode_into frame scratch.buf ~pos:0 in
+  size
+
+let scratch_buffer scratch = scratch.buf
+
+let encode_scratch scratch frame =
+  let size = encode_scratch_into scratch frame in
   (scratch.buf, size)
 
 (* Decoders read from the slice [base, base+len) of [b]; [len] checks are
@@ -116,8 +121,8 @@ let decode_iframe b ~base ~len:avail =
       let len = get_u16 b (base + 5) in
       if avail < 9 + len + 4 then Error Truncated
       else begin
-        let pcrc = get_i32 b (base + 9 + len) in
-        if Crc.crc32 b ~pos:(base + 9) ~len <> pcrc then
+        let pcrc = get_u32 b (base + 9 + len) in
+        if Crc.crc32_int b ~pos:(base + 9) ~len <> pcrc then
           Error (Payload_corrupt { seq })
         else
           Ok

@@ -46,6 +46,16 @@ val encode_scratch : scratch -> Wire.t -> Bytes.t * int
     [buf[0..len)]. The buffer is owned by [s] and overwritten by the next
     call; decode or copy it before re-using [s]. *)
 
+val encode_scratch_into : scratch -> Wire.t -> int
+(** Like {!encode_scratch} but returns only the encoded length — the
+    truly zero-allocation variant (no result pair) once the scratch has
+    grown to its working size. Read the bytes via {!scratch_buffer}. *)
+
+val scratch_buffer : scratch -> Bytes.t
+(** The scratch's current backing buffer. Invalidated (replaced) by any
+    later [encode_scratch*] call that needs to grow it, so fetch it
+    after encoding, not before. *)
+
 val decode : ?pos:int -> ?len:int -> Bytes.t -> (Wire.t, error) result
 (** Inverse of [encode] on uncorrupted input; classifies corrupted input
     as one of the [error] cases. [?pos]/[?len] (default: the whole

@@ -79,15 +79,14 @@ let crc32_tables =
   done;
   t
 
-let crc32 ?init b ~pos ~len =
+(* The worker keeps the running CRC in a native [int] end to end; the
+   [int32]-typed wrapper below boxes only at its return, so hot encode
+   paths that call [crc32_int] stay allocation-free. *)
+let crc32_int ?(init = 0) b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Crc.crc32: slice out of bounds";
   let t = crc32_tables in
-  let start =
-    match init with
-    | None -> 0xFFFFFFFF
-    | Some prev -> (Int32.to_int prev land 0xFFFFFFFF) lxor 0xFFFFFFFF
-  in
+  let start = (init land 0xFFFFFFFF) lxor 0xFFFFFFFF in
   let crc = ref start in
   let i = ref pos in
   let stop = pos + len in
@@ -108,7 +107,13 @@ let crc32 ?init b ~pos ~len =
     crc := Array.unsafe_get t ((!crc lxor byte) land 0xff) lxor (!crc lsr 8);
     incr i
   done;
-  Int32.of_int (!crc lxor 0xFFFFFFFF)
+  !crc lxor 0xFFFFFFFF
+
+let crc32 ?init b ~pos ~len =
+  let init =
+    match init with None -> 0 | Some prev -> Int32.to_int prev land 0xFFFFFFFF
+  in
+  Int32.of_int (crc32_int ~init b ~pos ~len)
 
 let crc32_string s =
   let b = Bytes.unsafe_of_string s in

@@ -56,15 +56,16 @@ let send_control t ~kind ~nr ~pf =
         [ nr ]
     | Frame.Hframe.Rr -> []
   in
-  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
-    (Dlc.Probe.Cp_emitted
-       {
-         cp_seq = t.controls_emitted;
-         next_expected = nr;
-         enforced = false;
-         stop_go = false;
-         naks;
-       });
+  if Dlc.Probe.active t.probe then
+    Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+      (Dlc.Probe.Cp_emitted
+         {
+           cp_seq = t.controls_emitted;
+           next_expected = nr;
+           enforced = false;
+           stop_go = false;
+           naks;
+         });
   t.controls_emitted <- t.controls_emitted + 1;
   Channel.Link.send t.reverse
     (Frame.Wire.Hdlc_control (Frame.Hframe.create ~kind ~nr ~pf))
@@ -74,8 +75,9 @@ let deliver t ~payload ~seq =
   t.metrics.Dlc.Metrics.payload_bytes_delivered <-
     t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
   t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
-  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
-    (Dlc.Probe.Delivered { seq; payload });
+  if Dlc.Probe.active t.probe then
+    Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+      (Dlc.Probe.Delivered { seq; payload });
   match t.on_deliver with None -> () | Some f -> f ~payload ~seq
 
 (* In-order delivery plus draining of buffered successors. *)

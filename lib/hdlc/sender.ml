@@ -41,6 +41,10 @@ let backlog t = Queue.length t.fresh + Hashtbl.length t.inflight
 
 let emit t ev = Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine) ev
 
+(* Per-frame events are allocated at the call site; guard the hot ones so
+   an unobserved session stays allocation-free on its steady-state path. *)
+let probe_on t = Dlc.Probe.active t.probe
+
 let in_window t = Frame.Seqnum.sub t.sp t.v_s t.v_a
 
 let window_open t = in_window t < t.params.Params.window
@@ -141,7 +145,8 @@ and transmit t ~seq ~fl ~is_retx ~pf =
     t.metrics.Dlc.Metrics.retransmissions <-
       t.metrics.Dlc.Metrics.retransmissions + 1
   else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
-  emit t (Dlc.Probe.Tx { seq; payload = fl.payload; retx = is_retx });
+  if probe_on t then
+    emit t (Dlc.Probe.Tx { seq; payload = fl.payload; retx = is_retx });
   Channel.Link.send t.forward wire;
   if pf then begin
     t.poll_outstanding <- true;
@@ -180,7 +185,8 @@ and on_timeout t =
         fl.retries <- fl.retries + 1;
         (* the previous poll (if any) evidently got no answer *)
         t.poll_outstanding <- false;
-        emit t (Dlc.Probe.Requeued { seq = t.v_a; payload = fl.payload });
+        if probe_on t then
+          emit t (Dlc.Probe.Requeued { seq = t.v_a; payload = fl.payload });
         Queue.add (t.v_a, true) t.retx;
         ensure_timer_running t;
         maybe_send t
@@ -188,7 +194,8 @@ and on_timeout t =
 
 let release t seq fl =
   Hashtbl.remove t.inflight seq;
-  emit t (Dlc.Probe.Released { seq; payload = fl.payload });
+  if probe_on t then
+    emit t (Dlc.Probe.Released { seq; payload = fl.payload });
   t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
   Stats.Online.add t.metrics.Dlc.Metrics.holding_time
     (Sim.Engine.now t.engine -. fl.first_tx_time)
@@ -215,7 +222,8 @@ let ack_below t nr =
 let on_srej t nr =
   match Hashtbl.find_opt t.inflight nr with
   | Some fl ->
-      emit t (Dlc.Probe.Requeued { seq = nr; payload = fl.payload });
+      if probe_on t then
+        emit t (Dlc.Probe.Requeued { seq = nr; payload = fl.payload });
       Queue.add (nr, false) t.retx
   | None -> ()
 
@@ -226,7 +234,8 @@ let on_rej t nr =
   while Frame.Seqnum.sub t.sp t.v_s !seq > 0 do
     (match Hashtbl.find_opt t.inflight !seq with
     | Some fl ->
-        emit t (Dlc.Probe.Requeued { seq = !seq; payload = fl.payload });
+        if probe_on t then
+          emit t (Dlc.Probe.Requeued { seq = !seq; payload = fl.payload });
         Queue.add (!seq, false) t.retx
     | None -> ());
     seq := Frame.Seqnum.succ t.sp !seq
@@ -262,7 +271,8 @@ let offer t payload =
     t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
     if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
       t.metrics.Dlc.Metrics.first_offer_time <- now;
-    emit t (Dlc.Probe.Offered { payload });
+    if probe_on t then
+      emit t (Dlc.Probe.Offered { payload });
     Queue.add (payload, now) t.fresh;
     sample_buffer t;
     maybe_send t;

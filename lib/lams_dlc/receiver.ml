@@ -75,15 +75,16 @@ let send_checkpoint t ~enforced ~naks =
     Frame.Cframe.checkpoint ~cp_seq:t.cp_seq ~issue_time:now
       ~stop_go:t.stop_state ~enforced ~next_expected:t.next_expected ~naks
   in
-  Dlc.Probe.emit t.probe ~now
-    (Dlc.Probe.Cp_emitted
-       {
-         cp_seq = t.cp_seq;
-         next_expected = t.next_expected;
-         enforced;
-         stop_go = t.stop_state;
-         naks;
-       });
+  if Dlc.Probe.active t.probe then
+    Dlc.Probe.emit t.probe ~now
+      (Dlc.Probe.Cp_emitted
+         {
+           cp_seq = t.cp_seq;
+           next_expected = t.next_expected;
+           enforced;
+           stop_go = t.stop_state;
+           naks;
+         });
   t.cp_seq <- t.cp_seq + 1;
   t.checkpoints_sent <- t.checkpoints_sent + 1;
   t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
@@ -148,8 +149,9 @@ let deliver t ~payload ~seq =
   t.metrics.Dlc.Metrics.payload_bytes_delivered <-
     t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
   t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
-  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
-    (Dlc.Probe.Delivered { seq; payload });
+  if Dlc.Probe.active t.probe then
+    Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+      (Dlc.Probe.Delivered { seq; payload });
   enqueue t;
   match t.on_deliver with None -> () | Some f -> f ~payload ~seq
 

@@ -64,6 +64,10 @@ let sample_buffer t = Dlc.Metrics.sample_send_buffer t.metrics (backlog t)
 
 let emit t ev = Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine) ev
 
+(* Per-frame events are allocated at the call site; guard the hot ones so
+   an unobserved session stays allocation-free on its steady-state path. *)
+let probe_on t = Dlc.Probe.active t.probe
+
 (* Track the numbering span actually in use: oldest live outstanding seq
    (front of the coverage queue, skipping resolved ones) to next_seq-1. *)
 let update_span t =
@@ -136,7 +140,8 @@ and transmit t pend ~is_retx =
     t.metrics.Dlc.Metrics.retransmissions <-
       t.metrics.Dlc.Metrics.retransmissions + 1
   else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
-  emit t (Dlc.Probe.Tx { seq; payload = pend.payload; retx = is_retx });
+  if probe_on t then
+    emit t (Dlc.Probe.Tx { seq; payload = pend.payload; retx = is_retx });
   Channel.Link.send t.forward wire;
   (* Stop-Go pacing: at full rate the next frame may follow back-to-back;
      a reduced rate factor stretches the inter-frame spacing. *)
@@ -243,13 +248,15 @@ and start_cp_timer_if_needed t =
 let release t seq entry =
   Hashtbl.remove t.outstanding seq;
   t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
-  emit t (Dlc.Probe.Released { seq; payload = entry.pend.payload });
+  if probe_on t then
+    emit t (Dlc.Probe.Released { seq; payload = entry.pend.payload });
   Stats.Online.add t.metrics.Dlc.Metrics.holding_time
     (Sim.Engine.now t.engine -. entry.pend.first_tx_time)
 
 let queue_retransmission t seq entry =
   Hashtbl.remove t.outstanding seq;
-  emit t (Dlc.Probe.Requeued { seq; payload = entry.pend.payload });
+  if probe_on t then
+    emit t (Dlc.Probe.Requeued { seq; payload = entry.pend.payload });
   Queue.add entry.pend t.retx
 
 let apply_stop_go t ~stop =
@@ -382,7 +389,7 @@ let offer t payload =
     t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
     if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
       t.metrics.Dlc.Metrics.first_offer_time <- now;
-    emit t (Dlc.Probe.Offered { payload });
+    if probe_on t then emit t (Dlc.Probe.Offered { payload });
     Queue.add { payload; offer_time = now; first_tx_time = nan } t.fresh;
     sample_buffer t;
     maybe_send t;

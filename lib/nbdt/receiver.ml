@@ -41,15 +41,16 @@ let send_report t =
     Frame.Cframe.checkpoint ~cp_seq:t.report_seq ~issue_time:now
       ~stop_go:false ~enforced:false ~next_expected:advertised ~naks
   in
-  Dlc.Probe.emit t.probe ~now
-    (Dlc.Probe.Cp_emitted
-       {
-         cp_seq = t.report_seq;
-         next_expected = advertised;
-         enforced = false;
-         stop_go = false;
-         naks;
-       });
+  if Dlc.Probe.active t.probe then
+    Dlc.Probe.emit t.probe ~now
+      (Dlc.Probe.Cp_emitted
+         {
+           cp_seq = t.report_seq;
+           next_expected = advertised;
+           enforced = false;
+           stop_go = false;
+           naks;
+         });
   t.report_seq <- t.report_seq + 1;
   t.reports_sent <- t.reports_sent + 1;
   t.metrics.Dlc.Metrics.control_sent <- t.metrics.Dlc.Metrics.control_sent + 1;
@@ -93,8 +94,9 @@ let deliver t ~payload ~seq =
   t.metrics.Dlc.Metrics.payload_bytes_delivered <-
     t.metrics.Dlc.Metrics.payload_bytes_delivered + String.length payload;
   t.metrics.Dlc.Metrics.last_delivery_time <- Sim.Engine.now t.engine;
-  Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
-    (Dlc.Probe.Delivered { seq; payload });
+  if Dlc.Probe.active t.probe then
+    Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine)
+      (Dlc.Probe.Delivered { seq; payload });
   match t.on_deliver with None -> () | Some f -> f ~payload ~seq
 
 (* Invariant: seqs < frontier are received unless listed in missing. *)

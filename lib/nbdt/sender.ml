@@ -38,6 +38,10 @@ let backlog t =
 
 let emit t ev = Dlc.Probe.emit t.probe ~now:(Sim.Engine.now t.engine) ev
 
+(* Per-frame events are allocated at the call site; guard the hot ones so
+   an unobserved session stays allocation-free on its steady-state path. *)
+let probe_on t = Dlc.Probe.active t.probe
+
 let outstanding t = Hashtbl.length t.inflight
 
 let batches_completed t = t.batches_completed
@@ -123,7 +127,8 @@ and transmit t ~seq ~fl ~is_retx =
     t.metrics.Dlc.Metrics.retransmissions <-
       t.metrics.Dlc.Metrics.retransmissions + 1
   else t.metrics.Dlc.Metrics.iframes_sent <- t.metrics.Dlc.Metrics.iframes_sent + 1;
-  emit t (Dlc.Probe.Tx { seq; payload = fl.payload; retx = is_retx });
+  if probe_on t then
+    emit t (Dlc.Probe.Tx { seq; payload = fl.payload; retx = is_retx });
   Channel.Link.send t.forward wire;
   update_watchdog t;
   maybe_send t
@@ -175,7 +180,8 @@ and on_watchdog t =
             fl.retries <- fl.retries + 1;
             if not fl.queued_retx then begin
               fl.queued_retx <- true;
-              emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
+              if probe_on t then
+                emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
               Queue.add seq t.retx
             end;
             (* re-arm for the same target: expiry counts retries *)
@@ -185,7 +191,8 @@ and on_watchdog t =
 
 let release t seq fl =
   Hashtbl.remove t.inflight seq;
-  emit t (Dlc.Probe.Released { seq; payload = fl.payload });
+  if probe_on t then
+    emit t (Dlc.Probe.Released { seq; payload = fl.payload });
   t.metrics.Dlc.Metrics.released <- t.metrics.Dlc.Metrics.released + 1;
   Stats.Online.add t.metrics.Dlc.Metrics.holding_time
     (Sim.Engine.now t.engine -. fl.first_tx_time)
@@ -217,7 +224,8 @@ let on_report t (report : Frame.Cframe.checkpoint) =
                    > t.params.Params.retx_cooldown
               then begin
                 fl.queued_retx <- true;
-                emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
+                if probe_on t then
+                  emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
                 Queue.add seq t.retx
               end
             end
@@ -271,7 +279,8 @@ let offer t payload =
     t.metrics.Dlc.Metrics.offered <- t.metrics.Dlc.Metrics.offered + 1;
     if Float.is_nan t.metrics.Dlc.Metrics.first_offer_time then
       t.metrics.Dlc.Metrics.first_offer_time <- now;
-    emit t (Dlc.Probe.Offered { payload });
+    if probe_on t then
+      emit t (Dlc.Probe.Offered { payload });
     Queue.add (payload, now) t.fresh;
     sample_buffer t;
     maybe_send t;

@@ -1,46 +1,57 @@
 (* SplitMix64. Reference: Steele, Lea & Flood, "Fast splittable
    pseudorandom number generators", OOPSLA 2014. *)
 
-type t = { mutable state : int64 }
+(* The 64-bit state lives in an 8-byte buffer rather than a mutable
+   [int64] record field: int64 fields are boxed, so a record would
+   allocate a fresh box on every draw. [Bytes.get/set_int64_le] keep the
+   arithmetic unboxed end to end, making draws allocation-free on the
+   native-code path. *)
+type t = { state : Bytes.t }
+
+let of_int64 s =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 s;
+  { state = b }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix64 z =
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed = { state = mix64 (Int64.of_int seed) }
+let create ~seed = of_int64 (mix64 (Int64.of_int seed))
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+let[@inline] bits64 t =
+  let s = Int64.add (Bytes.get_int64_le t.state 0) golden_gamma in
+  Bytes.set_int64_le t.state 0 s;
+  mix64 s
 
 let split t =
   let seed = bits64 t in
-  { state = mix64 seed }
+  of_int64 (mix64 seed)
 
-let copy t = { state = t.state }
+let copy t = { state = Bytes.copy t.state }
 
 (* Top 53 bits -> float in [0,1). *)
-let unit_float t =
+let[@inline] unit_float t =
   let x = Int64.shift_right_logical (bits64 t) 11 in
   Int64.to_float x *. 0x1.0p-53
 
-let float t x =
+let[@inline] float t x =
   assert (x > 0.);
   unit_float t *. x
 
-let int t n =
+let[@inline] int t n =
   assert (n > 0);
   (* Rejection-free for n << 2^62: take nonnegative 62 bits, mod n. The
      modulo bias is < n / 2^62, negligible for simulation use. *)
   let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
   x mod n
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let[@inline] bool t = Int64.logand (bits64 t) 1L = 1L
 
-let bernoulli t ~p =
+let[@inline] bernoulli t ~p =
   if p <= 0. then false
   else if p >= 1. then true
   else unit_float t < p
@@ -50,7 +61,7 @@ let exponential t ~mean =
   let u = 1. -. unit_float t in
   -.mean *. log u
 
-let geometric t ~p =
+let[@inline] geometric t ~p =
   assert (p > 0. && p <= 1.);
   if p >= 1. then 1
   else
@@ -125,7 +136,7 @@ let derive_bits ~root path =
 let derive_seed ~root path =
   Int64.to_int (derive_bits ~root path) land max_int
 
-let derive ~root path = { state = mix64 (derive_bits ~root path) }
+let derive ~root path = of_int64 (mix64 (derive_bits ~root path))
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

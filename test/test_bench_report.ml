@@ -67,14 +67,17 @@ let test_json_unicode_escape () =
 
 (* --- report round-trip --------------------------------------------------- *)
 
-let subject name ns =
+let subject ?(r2 = 0.99) ?(mw = 12.) name ns =
+  (* finite minor_words_per_run by default: the round-trip tests compare
+     reports structurally, and nan <> nan would fail them *)
   {
     Report.name;
     ns_per_run = ns;
-    r_square = 0.99;
+    r_square = r2;
     mean_ns = ns *. 1.01;
     stddev_ns = ns /. 20.;
     samples = 40;
+    minor_words_per_run = mw;
   }
 
 let meta =
@@ -135,11 +138,40 @@ let test_report_rejects_missing_field () =
 let test_subject_of_samples () =
   let s =
     Report.subject_of_samples ~name:"s" ~ns_per_run:10. ~r_square:1.
-      ~ns_samples:[ 8.; 10.; 12. ]
+      ~ns_samples:[ 8.; 10.; 12. ] ()
   in
   Alcotest.(check int) "samples" 3 s.Report.samples;
   Alcotest.(check (float 1e-9)) "mean" 10. s.Report.mean_ns;
-  Alcotest.(check (float 1e-9)) "stddev" 2. s.Report.stddev_ns
+  Alcotest.(check (float 1e-9)) "stddev" 2. s.Report.stddev_ns;
+  Alcotest.(check bool) "alloc defaults to unmeasured" true
+    (Float.is_nan s.Report.minor_words_per_run)
+
+let test_report_alloc_field_optional () =
+  (* a subject with nan allocation serialises without the key (nan has no
+     JSON representation) and a report lacking the key reads back as nan
+     — which is how pre-counter baselines like BENCH_seed.json stay
+     readable under schema 1 *)
+  let s = subject "a" 100. in
+  let without = { s with Report.minor_words_per_run = nan } in
+  let j = Report.to_json (report [ without ]) in
+  let text = Json.to_string j in
+  Alcotest.(check bool) "nan key omitted" false
+    (Astring.String.is_infix ~affix:"minor_words_per_run" text);
+  match Json.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Report.of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          let s' = List.hd r.Report.subjects in
+          Alcotest.(check bool) "missing key reads as nan" true
+            (Float.is_nan s'.Report.minor_words_per_run));
+  let j = Report.to_json (report [ s ]) in
+  match Report.of_json j with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check (float 1e-9)) "finite value survives" 12.
+        (List.hd r.Report.subjects).Report.minor_words_per_run
 
 (* --- regression gate ----------------------------------------------------- *)
 
@@ -193,6 +225,56 @@ let test_compare_added_removed () =
     (List.assoc "old" (statuses v) = Compare.Removed);
   Alcotest.(check bool) "new added" true
     (List.assoc "new" (statuses v) = Compare.Added)
+
+let test_compare_noisy_excluded () =
+  (* r² below the bound on either side: the subject is flagged noisy and
+     its (untrustworthy) 2x slowdown does not fail the gate *)
+  let baseline = report [ subject "a" 100.; subject "b" 100. ] in
+  let current = report [ subject ~r2:0.5 "a" 200.; subject "b" 100. ] in
+  let v = Compare.run ~min_r_square:0.95 ~baseline ~current () in
+  Alcotest.(check bool) "noisy subject does not fail the gate" false
+    (Compare.failed v);
+  Alcotest.(check int) "counted as noisy" 1 v.Compare.noisy;
+  Alcotest.(check bool) "status is noisy" true
+    (List.assoc "a" (statuses v) = Compare.Noisy);
+  (* same comparison without the bound: a hard regression *)
+  let v = Compare.run ~baseline ~current () in
+  Alcotest.(check bool) "failed without min_r_square" true (Compare.failed v);
+  (* nan r² is "fit not computed", never noisy *)
+  let baseline = report [ subject ~r2:nan "c" 100. ] in
+  let v = Compare.run ~min_r_square:0.95 ~baseline ~current:baseline () in
+  Alcotest.(check int) "nan r² not noisy" 0 v.Compare.noisy
+
+let test_compare_alloc_regression () =
+  (* timing unchanged but allocation exploded: the gate must fail *)
+  let baseline = report [ subject ~mw:10. "a" 100. ] in
+  let current = report [ subject ~mw:100. "a" 100. ] in
+  let v = Compare.run ~baseline ~current () in
+  Alcotest.(check bool) "alloc regression fails" true (Compare.failed v);
+  Alcotest.(check int) "counted" 1 v.Compare.alloc_regressed;
+  Alcotest.(check int) "timing did not regress" 0 v.Compare.regressed;
+  (* within threshold+slack: fine *)
+  let v =
+    Compare.run ~baseline ~current:(report [ subject ~mw:11. "a" 100. ]) ()
+  in
+  Alcotest.(check bool) "small growth ok" false (Compare.failed v);
+  (* zero-alloc subjects: slack absorbs harness jitter, beyond it fails *)
+  let zero = report [ subject ~mw:0. "z" 50. ] in
+  let v =
+    Compare.run ~baseline:zero ~current:(report [ subject ~mw:8. "z" 50. ]) ()
+  in
+  Alcotest.(check bool) "within slack ok" false (Compare.failed v);
+  let v =
+    Compare.run ~baseline:zero ~current:(report [ subject ~mw:9. "z" 50. ]) ()
+  in
+  Alcotest.(check bool) "beyond slack fails" true (Compare.failed v);
+  (* unmeasured on either side: no alloc gating *)
+  let v =
+    Compare.run
+      ~baseline:(report [ subject ~mw:nan "a" 100. ])
+      ~current ()
+  in
+  Alcotest.(check bool) "nan baseline not gated" false (Compare.failed v)
 
 let test_compare_rejects_bad_threshold () =
   let r = report [] in
@@ -262,6 +344,12 @@ let suite =
       test_compare_added_removed;
     Alcotest.test_case "compare: rejects bad threshold" `Quick
       test_compare_rejects_bad_threshold;
+    Alcotest.test_case "report: alloc field optional in JSON" `Quick
+      test_report_alloc_field_optional;
+    Alcotest.test_case "compare: noisy subjects excluded from gate" `Quick
+      test_compare_noisy_excluded;
+    Alcotest.test_case "compare: allocation regressions fail" `Quick
+      test_compare_alloc_regression;
     Alcotest.test_case "stats: Online.to_json_string" `Quick test_online_to_json;
     Alcotest.test_case "stats: empty Online emits nulls" `Quick
       test_online_empty_to_json;

@@ -109,6 +109,92 @@ let test_copy_independent () =
     if a <> b then Alcotest.fail "copies diverged under identical draws"
   done
 
+(* --- batched fates --- *)
+
+let test_fates_into_uniform_stream_identical () =
+  (* the uniform batch path must consume the rng exactly like n
+     sequential [fate] calls: existing traces depend on the draw order *)
+  let mk () = Channel.Error_model.uniform ~frame_loss:0.05 ~ber:2e-4 () in
+  let seq_model = mk () and batch_model = mk () in
+  let r1 = Sim.Rng.create ~seed:11 and r2 = Sim.Rng.create ~seed:11 in
+  let n = 2_000 in
+  let expected =
+    Array.init n (fun _ ->
+        Channel.Error_model.fate seq_model r1 ~header_bits:104 ~payload_bits:8192)
+  in
+  let got = Array.make n Channel.Error_model.Clean in
+  Channel.Error_model.fates_into batch_model r2 ~header_bits:104
+    ~payload_bits:8192 got ~n;
+  Array.iteri
+    (fun i f ->
+      if f <> expected.(i) then Alcotest.failf "fate %d diverged" i)
+    got;
+  Alcotest.(check bool) "rng streams aligned" true
+    (Sim.Rng.unit_float r1 = Sim.Rng.unit_float r2)
+
+let test_fates_into_perfect_and_bounds () =
+  let rng = Sim.Rng.create ~seed:12 in
+  let dst = Array.make 8 Channel.Error_model.Lost in
+  (* only the first n slots are written *)
+  Channel.Error_model.fates_into Channel.Error_model.perfect rng ~header_bits:8
+    ~payload_bits:8 dst ~n:5;
+  Array.iteri
+    (fun i f ->
+      let want =
+        if i < 5 then Channel.Error_model.Clean else Channel.Error_model.Lost
+      in
+      if f <> want then Alcotest.failf "slot %d clobbered" i)
+    dst;
+  Alcotest.check_raises "n too large"
+    (Invalid_argument "Error_model.fates_into: n out of range") (fun () ->
+      Channel.Error_model.fates_into Channel.Error_model.perfect rng
+        ~header_bits:8 ~payload_bits:8 dst ~n:9);
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Error_model.fates_into: n out of range") (fun () ->
+      Channel.Error_model.fates_into Channel.Error_model.perfect rng
+        ~header_bits:8 ~payload_bits:8 dst ~n:(-1))
+
+let test_fates_into_ge_matches_sequential_rate () =
+  (* the GE batch path draws a different (but identically distributed)
+     stream; check it against the sequential path statistically: same
+     overall corruption rate and comparable burstiness over a long run *)
+  let mk () =
+    Channel.Error_model.gilbert_elliott ~ber_good:1e-6 ~ber_bad:5e-3
+      ~mean_burst_bits:20_000. ~mean_gap_bits:200_000. ()
+  in
+  let n = 30_000 in
+  let bad_of arr =
+    Array.fold_left
+      (fun acc f -> if f = Channel.Error_model.Clean then acc else acc + 1)
+      0 arr
+  in
+  let seq_model = mk () in
+  let r1 = Sim.Rng.create ~seed:13 in
+  let seq_fates =
+    Array.init n (fun _ ->
+        Channel.Error_model.fate seq_model r1 ~header_bits:104
+          ~payload_bits:8192)
+  in
+  let batch_model = mk () in
+  let r2 = Sim.Rng.create ~seed:14 in
+  let batch_fates = Array.make n Channel.Error_model.Clean in
+  Channel.Error_model.fates_into batch_model r2 ~header_bits:104
+    ~payload_bits:8192 batch_fates ~n;
+  let p_seq = float_of_int (bad_of seq_fates) /. float_of_int n in
+  let p_batch = float_of_int (bad_of batch_fates) /. float_of_int n in
+  if Float.abs (p_seq -. p_batch) > 0.01 then
+    Alcotest.failf "corruption rates diverged: seq %g, batched %g" p_seq p_batch
+
+let test_fates_allocates_fresh_array () =
+  let model = Channel.Error_model.uniform ~ber:1e-3 () in
+  let rng = Sim.Rng.create ~seed:15 in
+  let a = Channel.Error_model.fates model rng ~header_bits:8 ~payload_bits:64 ~n:10 in
+  Alcotest.(check int) "length" 10 (Array.length a);
+  let empty =
+    Channel.Error_model.fates model rng ~header_bits:8 ~payload_bits:64 ~n:0
+  in
+  Alcotest.(check int) "empty" 0 (Array.length empty)
+
 (* --- Link --- *)
 
 let make_link ?(ber = 0.) ?(distance = 3_000_000.) engine seed =
@@ -373,6 +459,14 @@ let suite =
     Alcotest.test_case "GE stationary rate" `Slow test_ge_stationary_rate;
     Alcotest.test_case "GE burstiness" `Slow test_ge_burstiness;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "batched fates: uniform stream-identical" `Quick
+      test_fates_into_uniform_stream_identical;
+    Alcotest.test_case "batched fates: perfect + bounds" `Quick
+      test_fates_into_perfect_and_bounds;
+    Alcotest.test_case "batched fates: GE rate matches sequential" `Slow
+      test_fates_into_ge_matches_sequential_rate;
+    Alcotest.test_case "fates allocates fresh array" `Quick
+      test_fates_allocates_fresh_array;
     Alcotest.test_case "link delivery time" `Quick test_link_delivery_time;
     Alcotest.test_case "link FIFO + queueing" `Quick test_link_fifo_and_queueing;
     Alcotest.test_case "link on_idle" `Quick test_link_on_idle;

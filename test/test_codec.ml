@@ -205,6 +205,51 @@ let prop_flip_never_misidentifies_seq =
       | Ok _ -> false
       | Error _ -> true)
 
+let test_scratch_roundtrip () =
+  (* one scratch serves frames of different kinds and sizes back to back *)
+  let scratch = Frame.Codec.create_scratch ~capacity:8 () in
+  let frames =
+    [
+      Frame.Wire.Data (Frame.Iframe.create ~seq:7 ~payload:(String.make 900 'q'));
+      Frame.Wire.Control
+        (Frame.Cframe.checkpoint ~cp_seq:3 ~issue_time:1.5 ~stop_go:false
+           ~enforced:false ~next_expected:4 ~naks:[ 5; 9 ]);
+      Frame.Wire.Data (Frame.Iframe.create ~seq:8 ~payload:"");
+    ]
+  in
+  List.iter
+    (fun f ->
+      let buf, len = Frame.Codec.encode_scratch scratch f in
+      Alcotest.(check int) "length" (Frame.Wire.size_bytes f) len;
+      (match Frame.Codec.decode ~pos:0 ~len buf with
+      | Ok f' -> Alcotest.check wire "scratch pair roundtrip" f f'
+      | Error e -> Alcotest.failf "decode: %s" (Frame.Codec.error_to_string e));
+      let len = Frame.Codec.encode_scratch_into scratch f in
+      match
+        Frame.Codec.decode ~pos:0 ~len (Frame.Codec.scratch_buffer scratch)
+      with
+      | Ok f' -> Alcotest.check wire "scratch_into roundtrip" f f'
+      | Error e -> Alcotest.failf "decode: %s" (Frame.Codec.error_to_string e))
+    frames
+
+let test_scratch_encode_steady_state_allocates_nothing () =
+  (* the line-rate contract: once the scratch has grown to the working
+     frame size, [encode_scratch_into] allocates zero minor words *)
+  let scratch = Frame.Codec.create_scratch () in
+  let frame =
+    Frame.Wire.Data (Frame.Iframe.create ~seq:42 ~payload:(String.make 1024 'x'))
+  in
+  ignore (Frame.Codec.encode_scratch_into scratch frame : int);
+  ignore (Frame.Codec.encode_scratch_into scratch frame : int);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100 do
+    ignore (Frame.Codec.encode_scratch_into scratch frame : int)
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 100. in
+  if per_call > 0.5 then
+    Alcotest.failf "steady-state scratch encode allocates %.1f words/call"
+      per_call
+
 let prop_decode_never_raises =
   QCheck2.Test.make ~name:"decode total on arbitrary byte strings" ~count:1000
     QCheck2.Gen.(string_size ~gen:char (int_range 0 200))
@@ -231,4 +276,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_any_single_flip_detected;
     QCheck_alcotest.to_alcotest prop_flip_never_misidentifies_seq;
     QCheck_alcotest.to_alcotest prop_decode_never_raises;
+    Alcotest.test_case "scratch encode roundtrips" `Quick test_scratch_roundtrip;
+    Alcotest.test_case "scratch encode steady state is allocation-free" `Quick
+      test_scratch_encode_steady_state_allocates_nothing;
   ]

@@ -153,6 +153,51 @@ let prop_conv_corrects_two_errors =
 
 (* --- Interleaver --- *)
 
+let prop_conv_differential =
+  (* the fast table-driven decoder must agree bit-for-bit with the
+     reference trellis on arbitrary noise, including flip counts far
+     beyond the correction radius where only the shared tie-breaking rule
+     pins down the answer; sweeping constraint lengths exercises every
+     table stride *)
+  QCheck2.Test.make ~name:"fast viterbi = reference viterbi" ~count:150
+    QCheck2.Gen.(
+      quad (int_range 0 3)
+        (list_size (int_range 1 120) bool)
+        (list_size (int_range 0 12) (int_range 0 100_000))
+        (int_range 0 10_000))
+    (fun (which_code, bits, flips, _salt) ->
+      let cc =
+        match which_code with
+        | 0 -> Fec.Conv_code.default
+        | 1 -> Fec.Conv_code.create ~constraint_length:3 ~generators:(0o7, 0o5) ()
+        | 2 ->
+            Fec.Conv_code.create ~constraint_length:5 ~generators:(0o23, 0o35) ()
+        | _ ->
+            Fec.Conv_code.create ~constraint_length:9 ~generators:(0o561, 0o753)
+              ()
+      in
+      let data_bits = List.length bits in
+      let coded = Fec.Conv_code.encode cc (Fec.Bitbuf.of_bits bits) in
+      let n = Fec.Bitbuf.length coded in
+      List.iter
+        (fun f ->
+          let b = f mod n in
+          Fec.Bitbuf.set coded b (not (Fec.Bitbuf.get coded b)))
+        flips;
+      Fec.Bitbuf.equal
+        (Fec.Conv_code.decode cc coded ~data_bits)
+        (Fec.Conv_code.decode_reference cc coded ~data_bits))
+
+let test_conv_reference_roundtrip () =
+  (* the oracle itself still decodes clean input *)
+  let cc = Fec.Conv_code.default in
+  let src = bits_of_string "reference path" in
+  let decoded =
+    Fec.Conv_code.decode_reference cc (Fec.Conv_code.encode cc src)
+      ~data_bits:(Fec.Bitbuf.length src)
+  in
+  Alcotest.(check bool) "roundtrip" true (Fec.Bitbuf.equal src decoded)
+
 let test_interleaver_inverse () =
   let il = Fec.Interleaver.create ~rows:4 ~cols:8 in
   let src = bits_of_string "abcd" in
@@ -264,6 +309,9 @@ let suite =
     Alcotest.test_case "conv bad params" `Quick test_conv_bad_params;
     QCheck_alcotest.to_alcotest prop_conv_roundtrip;
     QCheck_alcotest.to_alcotest prop_conv_corrects_two_errors;
+    Alcotest.test_case "conv reference decoder roundtrip" `Quick
+      test_conv_reference_roundtrip;
+    QCheck_alcotest.to_alcotest prop_conv_differential;
     Alcotest.test_case "interleaver inverse" `Quick test_interleaver_inverse;
     Alcotest.test_case "interleaver disperses burst" `Quick
       test_interleaver_disperses_burst;
