@@ -25,6 +25,31 @@ let set_trace_config dir =
          { Trace.Config.dir; capacity = Trace.Config.default_capacity })
        dir)
 
+(* Shared --channel-trace flag (`run`, `sim`, `experiments run`): replay
+   a recorded channel trace on the I-frame channel of every scenario run
+   in this process. *)
+let channel_trace_arg =
+  let doc =
+    "Replay the recorded channel trace in $(docv) (lams-dlc-channel-trace \
+     v1 format) on the I-frame channel instead of the synthetic BER \
+     models; replicates replay seed-selected windows of the trace and \
+     results stay byte-identical for any --jobs."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "channel-trace" ] ~docv:"FILE" ~doc)
+
+let set_channel_trace = function
+  | None -> ()
+  | Some path -> (
+      match Channel.Trace_model.load path with
+      | data -> Experiments.Scenario.set_default_channel_trace (Some data)
+      | exception Channel.Trace_model.Parse_error e ->
+          Format.eprintf "%s: %s@." path e;
+          exit 2
+      | exception Sys_error e ->
+          Format.eprintf "%s@." e;
+          exit 2)
+
 (* Shared --contact-plan flag (the `run` and `handover run` commands). *)
 let contact_plan_arg =
   let doc =
@@ -88,8 +113,9 @@ let run_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run ids quick all jobs plan_file corrupt_file trace_dir =
+  let run ids quick all jobs plan_file corrupt_file trace_dir channel_trace =
     set_trace_config trace_dir;
+    set_channel_trace channel_trace;
     let plan =
       match plan_file with
       | None -> None
@@ -140,7 +166,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ ids $ quick $ all $ jobs $ contact_plan_arg
-      $ corrupt_script_arg $ trace_dir_arg)
+      $ corrupt_script_arg $ trace_dir_arg $ channel_trace_arg)
 
 (* --- experiments: the replicated matrix runner ------------------------- *)
 
@@ -222,8 +248,10 @@ let experiments_run_cmd =
              ~doc:"Omit run metadata (host, timestamp, jobs) from the JSON so \
                    two runs diff byte-for-byte.")
   in
-  let run ids all quick jobs replicates root_seed json out no_meta trace_dir =
+  let run ids all quick jobs replicates root_seed json out no_meta trace_dir
+      channel_trace =
     set_trace_config trace_dir;
+    set_channel_trace channel_trace;
     if replicates < 1 then begin
       Format.eprintf "--replicates must be >= 1@.";
       exit 2
@@ -261,7 +289,7 @@ let experiments_run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ ids $ all $ quick $ jobs $ replicates $ root_seed $ json
-      $ out $ no_meta $ trace_dir_arg)
+      $ out $ no_meta $ trace_dir_arg $ channel_trace_arg)
 
 let experiments_cmd =
   let doc = "Replicated experiment-matrix runner (deterministic seeds)." in
@@ -377,7 +405,8 @@ let sim_cmd =
                    $(docv).metrics.json).")
   in
   let run protocol frames ber cber distance_km rate_mbps payload seed json
-      trace_file =
+      trace_file channel_trace =
+    set_channel_trace channel_trace;
     let capture = Option.map file_capture trace_file in
     let recorder = Option.map fst capture in
     let finish () = match capture with Some (_, w) -> w () | None -> () in
@@ -497,7 +526,7 @@ let sim_cmd =
     Term.(
       ret
         (const run $ protocol $ frames $ ber $ cber $ distance_km $ rate_mbps
-       $ payload $ seed $ json $ trace_file))
+       $ payload $ seed $ json $ trace_file $ channel_trace_arg))
 
 (* --- trace: capture, validate and summarise JSONL traces --------------- *)
 
@@ -1194,6 +1223,215 @@ let corrupt_cmd =
   in
   Cmd.group (Cmd.info "corrupt" ~doc) [ corrupt_run_cmd; corrupt_soak_cmd ]
 
+(* --- channel: trace generation, calibration and live capture ----------- *)
+
+let channel_gen_cmd =
+  let doc =
+    "Generate a scripted channel-trace file: $(b,storm) (periodic \
+     beam-mispointing storms) or $(b,eclipse) (sinusoidal thermal BER \
+     cycle). Deterministic in --seed."
+  in
+  let kind =
+    Arg.(required & pos 0 (some (enum [ ("storm", `Storm); ("eclipse", `Eclipse) ])) None
+         & info [] ~docv:"KIND" ~doc:"storm or eclipse.")
+  in
+  let out =
+    Arg.(value & opt string "channel.trace"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace path.")
+  in
+  let frames =
+    Arg.(value & opt int 8000
+         & info [ "n"; "frames" ] ~docv:"N" ~doc:"Trace length in frames.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let payload =
+    Arg.(value & opt int 1024
+         & info [ "payload" ] ~docv:"BYTES" ~doc:"I-frame payload size.")
+  in
+  let run kind out frames seed payload =
+    let header_bits = 8 * Frame.Wire.iframe_overhead_bytes in
+    let payload_bits = 8 * payload in
+    let tag, data =
+      match kind with
+      | `Storm ->
+          ( "mispointing_storm",
+            Channel.Trace_model.mispointing_storm ~header_bits ~payload_bits
+              ~frames ~seed () )
+      | `Eclipse ->
+          ( "eclipse",
+            Channel.Trace_model.eclipse ~header_bits ~payload_bits ~frames
+              ~seed () )
+    in
+    let comment =
+      Printf.sprintf "generated: %s seed=%d frames=%d payload=%dB" tag seed
+        frames payload
+    in
+    Channel.Trace_model.save ~comment out data;
+    Format.printf "%s: %d frames, error rate %.4f@." out frames
+      (Channel.Trace_model.error_rate data)
+  in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ kind $ out $ frames $ seed $ payload)
+
+let channel_calibrate_cmd =
+  let doc =
+    "Fit Gilbert-Elliott parameters to a channel-trace file by burst/gap \
+     run-length moment matching and report the fit and its residuals. \
+     Exits 1 if the trace is degenerate (all-clean, all-bad, too few \
+     bursts)."
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace file to calibrate against.")
+  in
+  let payload =
+    Arg.(value & opt int 1024
+         & info [ "payload" ] ~docv:"BYTES"
+             ~doc:"I-frame payload size assumed when scaling frames to bits.")
+  in
+  let close_gap =
+    Arg.(value & opt int 2
+         & info [ "burst-close-gap" ] ~docv:"FRAMES"
+             ~doc:"Merge bursts separated by clean runs of at most $(docv) \
+                   frames.")
+  in
+  let run file payload close_gap =
+    match Channel.Trace_model.load file with
+    | exception Channel.Trace_model.Parse_error e ->
+        Format.eprintf "%s: %s@." file e;
+        exit 2
+    | exception Sys_error e ->
+        Format.eprintf "%s@." e;
+        exit 2
+    | data -> (
+        let frame_bits = 8 * (payload + Frame.Wire.iframe_overhead_bytes) in
+        match
+          Channel.Calibrate.fit ~burst_close_gap:close_gap ~frame_bits data
+        with
+        | Ok fit -> Format.printf "%s@." (Channel.Calibrate.describe fit)
+        | Error e ->
+            Format.eprintf "%s@." e;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "calibrate" ~doc)
+    Term.(const run $ file $ payload $ close_gap)
+
+let channel_record_cmd =
+  let doc =
+    "Run a LAMS session over a synthetic channel and record the live \
+     I-frame fates (from the forward link) into a replayable \
+     channel-trace file — the record half of the record/replay/calibrate \
+     loop."
+  in
+  let out =
+    Arg.(value & opt string "recorded.trace"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace path.")
+  in
+  let frames =
+    Arg.(value & opt int 2000
+         & info [ "n"; "frames" ] ~docv:"N" ~doc:"Frames to transfer.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let ber =
+    Arg.(value & opt float 1e-5
+         & info [ "ber" ] ~docv:"BER" ~doc:"I-frame channel bit error rate.")
+  in
+  let burst_bits =
+    Arg.(value & opt (some float) None
+         & info [ "burst-bits" ] ~docv:"BITS"
+             ~doc:"Use a Gilbert-Elliott channel with this mean burst \
+                   sojourn (with --gap-bits and --ber-bad) instead of a \
+                   uniform one.")
+  in
+  let gap_bits =
+    Arg.(value & opt float 1e6
+         & info [ "gap-bits" ] ~docv:"BITS"
+             ~doc:"Mean good-state sojourn for --burst-bits.")
+  in
+  let ber_bad =
+    Arg.(value & opt float 0.5
+         & info [ "ber-bad" ] ~docv:"BER"
+             ~doc:"Bad-state BER for --burst-bits.")
+  in
+  let payload =
+    Arg.(value & opt int 1024
+         & info [ "payload" ] ~docv:"BYTES" ~doc:"I-frame payload size.")
+  in
+  let run out frames seed ber burst_bits gap_bits ber_bad payload =
+    let cfg =
+      {
+        Experiments.Scenario.default with
+        Experiments.Scenario.seed;
+        n_frames = frames;
+        payload_bytes = payload;
+        horizon = 120.;
+      }
+    in
+    let iframe_error =
+      match burst_bits with
+      | None -> Channel.Error_model.uniform ~ber ()
+      | Some burst ->
+          Channel.Error_model.gilbert_elliott ~ber_good:ber ~ber_bad
+            ~mean_burst_bits:burst ~mean_gap_bits:gap_bits ()
+    in
+    let engine = Sim.Engine.create () in
+    let rng = Sim.Rng.create ~seed in
+    let duplex =
+      Channel.Duplex.create_static engine ~rng
+        ~distance_m:cfg.Experiments.Scenario.distance_m
+        ~data_rate_bps:cfg.Experiments.Scenario.data_rate_bps ~iframe_error
+        ~cframe_error:
+          (Channel.Error_model.uniform
+             ~ber:cfg.Experiments.Scenario.cframe_ber ())
+    in
+    let fates = Trace.Fates.create () in
+    Trace.Fates.attach fates duplex.Channel.Duplex.forward;
+    let params = Experiments.Scenario.default_lams_params cfg in
+    let session = Lams_dlc.Session.create engine ~params ~duplex in
+    let dlc = Lams_dlc.Session.as_dlc session in
+    dlc.Dlc.Session.set_on_deliver (fun ~payload:_ -> ());
+    ignore
+      (Workload.Arrivals.saturating engine ~session:dlc ~count:frames
+         ~payload:(Workload.Arrivals.default_payload ~size:payload)
+        : Workload.Arrivals.t);
+    let m = dlc.Dlc.Session.metrics in
+    let rec watch () =
+      if Dlc.Metrics.unique_delivered m >= frames then dlc.Dlc.Session.stop ()
+      else if Sim.Engine.now engine < cfg.Experiments.Scenario.horizon then
+        ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id)
+    in
+    ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id);
+    Sim.Engine.run engine ~until:cfg.Experiments.Scenario.horizon;
+    dlc.Dlc.Session.stop ();
+    Sim.Engine.run engine;
+    let comment =
+      Printf.sprintf
+        "recorded: lams forward-link I-frame fates seed=%d frames=%d %s" seed
+        frames
+        (Channel.Error_model.describe iframe_error)
+    in
+    Trace.Fates.save ~comment fates out;
+    Format.printf "%s: %d fates captured (%d unique deliveries)@." out
+      (Trace.Fates.length fates)
+      (Dlc.Metrics.unique_delivered m)
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const run $ out $ frames $ seed $ ber $ burst_bits $ gap_bits $ ber_bad
+      $ payload)
+
+let channel_cmd =
+  let doc =
+    "Channel traces: generate scripted scenarios, calibrate synthetic \
+     twins, record live fates."
+  in
+  Cmd.group (Cmd.info "channel" ~doc)
+    [ channel_gen_cmd; channel_calibrate_cmd; channel_record_cmd ]
+
 let () =
   let doc = "LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)" in
   let info = Cmd.info "lams_dlc_cli" ~version:"1.0.0" ~doc in
@@ -1208,4 +1446,5 @@ let () =
             trace_cmd;
             handover_cmd;
             corrupt_cmd;
+            channel_cmd;
           ]))

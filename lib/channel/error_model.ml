@@ -1,4 +1,6 @@
-type fate = Clean | Corrupt of { header : bool } | Lost
+type fate = Model.fate = Clean | Corrupt of { header : bool } | Lost
+
+type t = Model.t
 
 type ge_state = Good | Bad
 
@@ -25,45 +27,9 @@ type uniform = {
   mutable memo_p2 : float;
 }
 
-type kind = Perfect | Uniform of uniform | Ge of ge
-
-type t = kind
-
-let perfect = Perfect
-
 let check_prob name p =
   if not (p >= 0. && p <= 1.) then
     invalid_arg (Printf.sprintf "Error_model: %s must be in [0,1]" name)
-
-let uniform ?(frame_loss = 0.) ~ber () =
-  check_prob "ber" ber;
-  check_prob "frame_loss" frame_loss;
-  Uniform
-    {
-      ber;
-      frame_loss;
-      memo_bits1 = -1;
-      memo_p1 = 0.;
-      memo_bits2 = -1;
-      memo_p2 = 0.;
-    }
-
-let gilbert_elliott ?(frame_loss = 0.) ~ber_good ~ber_bad ~mean_burst_bits
-    ~mean_gap_bits () =
-  check_prob "ber_good" ber_good;
-  check_prob "ber_bad" ber_bad;
-  check_prob "frame_loss" frame_loss;
-  if mean_burst_bits < 1. || mean_gap_bits < 1. then
-    invalid_arg "Error_model.gilbert_elliott: mean sojourns must be >= 1 bit";
-  Ge
-    {
-      ber_good;
-      ber_bad;
-      p_leave_bad = 1. /. mean_burst_bits;
-      p_leave_good = 1. /. mean_gap_bits;
-      frame_loss;
-      state = Good;
-    }
 
 (* P[at least one error in n bits at rate ber] without float underflow:
    1 - (1-ber)^n computed via expm1/log1p. *)
@@ -71,6 +37,29 @@ let p_any_error ~ber ~bits =
   if ber <= 0. || bits <= 0 then 0.
   else if ber >= 1. then 1.
   else -.Float.expm1 (float_of_int bits *. Float.log1p (-.ber))
+
+(* Preallocated fate blocks: drawing a Corrupt fate must not allocate on
+   the per-frame path. *)
+let corrupt_header = Corrupt { header = true }
+let corrupt_payload = Corrupt { header = false }
+
+(* --- perfect ------------------------------------------------------------ *)
+
+let rec perfect_model () =
+  {
+    Model.m_fate = (fun _rng ~header_bits:_ ~payload_bits:_ -> Clean);
+    m_fates_into =
+      (fun _rng ~header_bits:_ ~payload_bits:_ dst ~n -> Array.fill dst 0 n Clean);
+    m_advance = (fun _rng ~bits:_ -> ());
+    m_error_positions = (fun _rng ~bits:_ -> []);
+    m_frame_error_prob = (fun ~bits:_ -> 0.);
+    m_copy = (fun () -> perfect_model ());
+    m_describe = (fun () -> "perfect");
+  }
+
+let perfect = perfect_model ()
+
+(* --- uniform ------------------------------------------------------------ *)
 
 let uniform_p u ~bits =
   if bits = u.memo_bits1 then u.memo_p1
@@ -84,10 +73,93 @@ let uniform_p u ~bits =
     p
   end
 
-(* Preallocated fate blocks: drawing a Corrupt fate must not allocate on
-   the per-frame path. *)
-let corrupt_header = Corrupt { header = true }
-let corrupt_payload = Corrupt { header = false }
+(* Uniform errors in [offset, offset+len): sample a binomial count, then
+   distinct positions. For simulation-scale error counts (a handful per
+   frame) rejection sampling of distinct positions is cheap. *)
+let uniform_positions rng ~ber ~offset ~len acc =
+  if ber <= 0. || len <= 0 then acc
+  else begin
+    let count = Sim.Rng.binomial rng ~n:len ~p:ber in
+    let seen = Hashtbl.create (max 16 count) in
+    let rec draw k acc =
+      if k = 0 then acc
+      else begin
+        let pos = offset + Sim.Rng.int rng len in
+        if Hashtbl.mem seen pos then draw k acc
+        else begin
+          Hashtbl.add seen pos ();
+          draw (k - 1) (pos :: acc)
+        end
+      end
+    in
+    draw count acc
+  end
+
+let rec uniform_model (u : uniform) =
+  let fate rng ~header_bits ~payload_bits =
+    if u.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:u.frame_loss then Lost
+    else begin
+      let header_bad = Sim.Rng.bernoulli rng ~p:(uniform_p u ~bits:header_bits) in
+      let payload_bad =
+        Sim.Rng.bernoulli rng ~p:(uniform_p u ~bits:payload_bits)
+      in
+      if header_bad then corrupt_header
+      else if payload_bad then corrupt_payload
+      else Clean
+    end
+  in
+  {
+    Model.m_fate = fate;
+    m_fates_into =
+      (fun rng ~header_bits ~payload_bits dst ~n ->
+        (* probabilities hoisted out of the loop; the bernoulli sequence
+           is exactly the one n sequential fate calls would draw *)
+        let p_h = uniform_p u ~bits:header_bits in
+        let p_p = uniform_p u ~bits:payload_bits in
+        for i = 0 to n - 1 do
+          if u.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:u.frame_loss then
+            Array.unsafe_set dst i Lost
+          else begin
+            let header_bad = Sim.Rng.bernoulli rng ~p:p_h in
+            let payload_bad = Sim.Rng.bernoulli rng ~p:p_p in
+            Array.unsafe_set dst i
+              (if header_bad then corrupt_header
+               else if payload_bad then corrupt_payload
+               else Clean)
+          end
+        done);
+    m_advance = (fun _rng ~bits:_ -> ());
+    m_error_positions =
+      (fun rng ~bits ->
+        List.sort_uniq compare
+          (uniform_positions rng ~ber:u.ber ~offset:0 ~len:bits []));
+    m_frame_error_prob =
+      (fun ~bits ->
+        let p_err = p_any_error ~ber:u.ber ~bits in
+        u.frame_loss +. ((1. -. u.frame_loss) *. p_err));
+    m_copy =
+      (fun () ->
+        (* fresh memo slots: the cache rebuilds itself, the draw stream
+           is unaffected *)
+        uniform_model { u with memo_bits1 = u.memo_bits1 });
+    m_describe =
+      (fun () -> Printf.sprintf "uniform(ber=%g, loss=%g)" u.ber u.frame_loss);
+  }
+
+let uniform ?(frame_loss = 0.) ~ber () =
+  check_prob "ber" ber;
+  check_prob "frame_loss" frame_loss;
+  uniform_model
+    {
+      ber;
+      frame_loss;
+      memo_bits1 = -1;
+      memo_p1 = 0.;
+      memo_bits2 = -1;
+      memo_p2 = 0.;
+    }
+
+(* --- Gilbert-Elliott ---------------------------------------------------- *)
 
 (* Walk a Gilbert-Elliott chain across [bits] bits; return whether any
    bit error occurred. Sojourn lengths are geometric, so we jump from
@@ -102,8 +174,7 @@ let ge_any_error g rng ~bits =
       | Bad -> (g.p_leave_bad, g.ber_bad)
     in
     let sojourn =
-      if p_leave <= 0. then !remaining
-      else Sim.Rng.geometric rng ~p:p_leave
+      if p_leave <= 0. then !remaining else Sim.Rng.geometric rng ~p:p_leave
     in
     let here = min sojourn !remaining in
     if (not !errored) && Sim.Rng.bernoulli rng ~p:(p_any_error ~ber ~bits:here)
@@ -133,48 +204,11 @@ let ge_advance g rng ~bits =
     end
   done
 
-let advance t rng ~bits =
-  match t with
-  | Perfect | Uniform _ -> ()
-  | Ge g -> if bits > 0 then ge_advance g rng ~bits
-
-let fate t rng ~header_bits ~payload_bits =
-  match t with
-  | Perfect -> Clean
-  | Uniform u ->
-      if u.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:u.frame_loss then Lost
-      else begin
-        let header_bad =
-          Sim.Rng.bernoulli rng ~p:(uniform_p u ~bits:header_bits)
-        in
-        let payload_bad =
-          Sim.Rng.bernoulli rng ~p:(uniform_p u ~bits:payload_bits)
-        in
-        if header_bad then corrupt_header
-        else if payload_bad then corrupt_payload
-        else Clean
-      end
-  | Ge g ->
-      if g.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:g.frame_loss then begin
-        (* still advance the chain so losses do not freeze burst state *)
-        ignore (ge_any_error g rng ~bits:(header_bits + payload_bits) : bool);
-        Lost
-      end
-      else begin
-        let header_bad = ge_any_error g rng ~bits:header_bits in
-        let payload_bad = ge_any_error g rng ~bits:payload_bits in
-        if header_bad then corrupt_header
-        else if payload_bad then corrupt_payload
-        else Clean
-      end
-
-(* --- batched frame fates ------------------------------------------------ *)
-
 (* Gilbert-Elliott over n consecutive frames, vectorised per burst: the
    sojourn schedule is walked once across the whole span, so a sojourn
    covering many frames costs one geometric draw total instead of one
    per frame segment, and P[any error in a full segment] is memoised per
-   chain state. Statistically identical to n sequential [fate] calls but
+   chain state. Statistically identical to n sequential fate calls but
    a different draw stream (documented in the .mli). *)
 let ge_fates_into g rng ~header_bits ~payload_bits dst ~n =
   (* bits left in the current sojourn; max_int encodes "never leaves" *)
@@ -242,64 +276,29 @@ let ge_fates_into g rng ~header_bits ~payload_bits dst ~n =
     end
   done
 
-let fates_into t rng ~header_bits ~payload_bits dst ~n =
-  if n < 0 || n > Array.length dst then
-    invalid_arg "Error_model.fates_into: n out of range";
-  match t with
-  | Perfect -> Array.fill dst 0 n Clean
-  | Uniform u ->
-      (* probabilities hoisted out of the loop; the bernoulli sequence is
-         exactly the one n sequential [fate] calls would draw *)
-      let p_h = uniform_p u ~bits:header_bits in
-      let p_p = uniform_p u ~bits:payload_bits in
-      for i = 0 to n - 1 do
-        if u.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:u.frame_loss then
-          Array.unsafe_set dst i Lost
-        else begin
-          let header_bad = Sim.Rng.bernoulli rng ~p:p_h in
-          let payload_bad = Sim.Rng.bernoulli rng ~p:p_p in
-          Array.unsafe_set dst i
-            (if header_bad then corrupt_header
-             else if payload_bad then corrupt_payload
-             else Clean)
-        end
-      done
-  | Ge g -> ge_fates_into g rng ~header_bits ~payload_bits dst ~n
-
-let fates t rng ~header_bits ~payload_bits ~n =
-  if n < 0 then invalid_arg "Error_model.fates: n out of range";
-  let dst = Array.make (max n 1) Clean in
-  fates_into t rng ~header_bits ~payload_bits dst ~n;
-  if Array.length dst = n then dst else Array.sub dst 0 n
-
-(* Uniform errors in [offset, offset+len): sample a binomial count, then
-   distinct positions. For simulation-scale error counts (a handful per
-   frame) rejection sampling of distinct positions is cheap. *)
-let uniform_positions rng ~ber ~offset ~len acc =
-  if ber <= 0. || len <= 0 then acc
-  else begin
-    let count = Sim.Rng.binomial rng ~n:len ~p:ber in
-    let seen = Hashtbl.create (max 16 count) in
-    let rec draw k acc =
-      if k = 0 then acc
-      else begin
-        let pos = offset + Sim.Rng.int rng len in
-        if Hashtbl.mem seen pos then draw k acc
-        else begin
-          Hashtbl.add seen pos ();
-          draw (k - 1) (pos :: acc)
-        end
-      end
-    in
-    draw count acc
-  end
-
-let error_positions t rng ~bits =
-  let acc =
-    match t with
-    | Perfect -> []
-    | Uniform { ber; _ } -> uniform_positions rng ~ber ~offset:0 ~len:bits []
-    | Ge g ->
+let rec ge_model (g : ge) =
+  let fate rng ~header_bits ~payload_bits =
+    if g.frame_loss > 0. && Sim.Rng.bernoulli rng ~p:g.frame_loss then begin
+      (* still advance the chain so losses do not freeze burst state *)
+      ignore (ge_any_error g rng ~bits:(header_bits + payload_bits) : bool);
+      Lost
+    end
+    else begin
+      let header_bad = ge_any_error g rng ~bits:header_bits in
+      let payload_bad = ge_any_error g rng ~bits:payload_bits in
+      if header_bad then corrupt_header
+      else if payload_bad then corrupt_payload
+      else Clean
+    end
+  in
+  {
+    Model.m_fate = fate;
+    m_fates_into =
+      (fun rng ~header_bits ~payload_bits dst ~n ->
+        ge_fates_into g rng ~header_bits ~payload_bits dst ~n);
+    m_advance = (fun rng ~bits -> ge_advance g rng ~bits);
+    m_error_positions =
+      (fun rng ~bits ->
         (* walk sojourns, sampling uniformly within each segment *)
         let acc = ref [] in
         let pos = ref 0 in
@@ -310,7 +309,8 @@ let error_positions t rng ~bits =
             | Bad -> (g.p_leave_bad, g.ber_bad)
           in
           let sojourn =
-            if p_leave <= 0. then bits - !pos else Sim.Rng.geometric rng ~p:p_leave
+            if p_leave <= 0. then bits - !pos
+            else Sim.Rng.geometric rng ~p:p_leave
           in
           let here = min sojourn (bits - !pos) in
           acc := uniform_positions rng ~ber ~offset:!pos ~len:here !acc;
@@ -318,22 +318,48 @@ let error_positions t rng ~bits =
           if sojourn <= here && p_leave > 0. then
             g.state <- (match g.state with Good -> Bad | Bad -> Good)
         done;
-        !acc
-  in
-  List.sort_uniq compare acc
+        List.sort_uniq compare !acc);
+    m_frame_error_prob =
+      (fun ~bits ->
+        (* stationary distribution of the two-state chain *)
+        let pi_bad = g.p_leave_good /. (g.p_leave_good +. g.p_leave_bad) in
+        let ber = (pi_bad *. g.ber_bad) +. ((1. -. pi_bad) *. g.ber_good) in
+        let p_err = p_any_error ~ber ~bits in
+        g.frame_loss +. ((1. -. g.frame_loss) *. p_err));
+    m_copy = (fun () -> ge_model { g with state = g.state });
+    m_describe =
+      (fun () ->
+        Printf.sprintf "gilbert-elliott(good=%g, bad=%g, burst=%.0fb, gap=%.0fb)"
+          g.ber_good g.ber_bad (1. /. g.p_leave_bad) (1. /. g.p_leave_good));
+  }
 
-let frame_error_prob t ~bits =
-  match t with
-  | Perfect -> 0.
-  | Uniform { ber; frame_loss; _ } ->
-      let p_err = p_any_error ~ber ~bits in
-      frame_loss +. ((1. -. frame_loss) *. p_err)
-  | Ge g ->
-      (* stationary distribution of the two-state chain *)
-      let pi_bad = g.p_leave_good /. (g.p_leave_good +. g.p_leave_bad) in
-      let ber = (pi_bad *. g.ber_bad) +. ((1. -. pi_bad) *. g.ber_good) in
-      let p_err = p_any_error ~ber ~bits in
-      g.frame_loss +. ((1. -. g.frame_loss) *. p_err)
+let gilbert_elliott ?(frame_loss = 0.) ~ber_good ~ber_bad ~mean_burst_bits
+    ~mean_gap_bits () =
+  check_prob "ber_good" ber_good;
+  check_prob "ber_bad" ber_bad;
+  check_prob "frame_loss" frame_loss;
+  if mean_burst_bits < 1. || mean_gap_bits < 1. then
+    invalid_arg "Error_model.gilbert_elliott: mean sojourns must be >= 1 bit";
+  ge_model
+    {
+      ber_good;
+      ber_bad;
+      p_leave_bad = 1. /. mean_burst_bits;
+      p_leave_good = 1. /. mean_gap_bits;
+      frame_loss;
+      state = Good;
+    }
+
+(* --- dispatch (aliases of the Model wrappers) --------------------------- *)
+
+let fate = Model.fate
+let fates_into = Model.fates_into
+let fates = Model.fates
+let advance = Model.advance
+let error_positions = Model.error_positions
+let frame_error_prob = Model.frame_error_prob
+let copy = Model.copy
+let describe = Model.describe
 
 let ber_for_frame_error_prob ~bits ~fer =
   if bits <= 0 then invalid_arg "ber_for_frame_error_prob: bits must be > 0";
@@ -341,16 +367,3 @@ let ber_for_frame_error_prob ~bits ~fer =
     invalid_arg "ber_for_frame_error_prob: fer must be in [0,1)";
   (* fer = 1 - (1-ber)^bits  =>  ber = 1 - (1-fer)^(1/bits) *)
   -.Float.expm1 (Float.log1p (-.fer) /. float_of_int bits)
-
-let copy = function
-  | Perfect -> Perfect
-  | Uniform u -> Uniform { u with memo_bits1 = u.memo_bits1 }
-  | Ge g -> Ge { g with state = g.state }
-
-let describe = function
-  | Perfect -> "perfect"
-  | Uniform { ber; frame_loss; _ } ->
-      Printf.sprintf "uniform(ber=%g, loss=%g)" ber frame_loss
-  | Ge g ->
-      Printf.sprintf "gilbert-elliott(good=%g, bad=%g, burst=%.0fb, gap=%.0fb)"
-        g.ber_good g.ber_bad (1. /. g.p_leave_bad) (1. /. g.p_leave_good)

@@ -8,19 +8,24 @@
     bit-clocked — state evolves with bits serialised on the link — which
     matches how interleaving analysis treats burst spans.
 
+    Each constructor here is a backend of the pluggable {!Model}
+    interface: [type t = Model.t], so these synthetic processes compose
+    freely with {!Trace_model} replay and {!Calibrate} fits anywhere a
+    channel model is consumed ({!Link}, {!Coded_path}, {!Duplex}).
+
     A frame's fate distinguishes header and payload damage because the
     receiver can still identify (and therefore NAK) a frame whose header
     survived; a destroyed header makes the frame unidentifiable and it is
     recovered via gap detection. [Lost] models sync loss: nothing arrives
     at all. *)
 
-type fate =
+type fate = Model.fate =
   | Clean
   | Corrupt of { header : bool }
       (** damaged; [header = true] when the header itself is unreadable *)
   | Lost  (** frame vanishes without trace *)
 
-type t
+type t = Model.t
 
 val perfect : t
 (** Never corrupts. *)
@@ -94,6 +99,11 @@ val frame_error_prob : t -> bits:int -> float
 val ber_for_frame_error_prob : bits:int -> fer:float -> float
 (** Inverse of the uniform model's FER: the BER that gives frame error
     probability [fer] at the given frame size. *)
+
+val p_any_error : ber:float -> bits:int -> float
+(** P[at least one error in [bits] bits at rate [ber]], computed without
+    float underflow. Shared by the synthetic backends, {!Calibrate}'s
+    moment matching, and trace analysis. *)
 
 val copy : t -> t
 (** Independent copy with the same parameters and current state. *)

@@ -1,0 +1,41 @@
+type fate = Clean | Corrupt of { header : bool } | Lost
+
+type t = {
+  m_fate : Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate;
+  m_fates_into :
+    Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate array -> n:int -> unit;
+  m_advance : Sim.Rng.t -> bits:int -> unit;
+  m_error_positions : Sim.Rng.t -> bits:int -> int list;
+  m_frame_error_prob : bits:int -> float;
+  m_copy : unit -> t;
+  m_describe : unit -> string;
+}
+
+let[@inline] fate t rng ~header_bits ~payload_bits =
+  t.m_fate rng ~header_bits ~payload_bits
+
+let fates_into t rng ~header_bits ~payload_bits dst ~n =
+  if n < 0 || n > Array.length dst then
+    invalid_arg "Channel.Model.fates_into: n out of range";
+  t.m_fates_into rng ~header_bits ~payload_bits dst ~n
+
+let fates t rng ~header_bits ~payload_bits ~n =
+  if n < 0 then invalid_arg "Channel.Model.fates: n out of range";
+  let dst = Array.make (max n 1) Clean in
+  t.m_fates_into rng ~header_bits ~payload_bits dst ~n;
+  if Array.length dst = n then dst else Array.sub dst 0 n
+
+let[@inline] advance t rng ~bits = if bits > 0 then t.m_advance rng ~bits
+
+let error_positions t rng ~bits = t.m_error_positions rng ~bits
+
+let frame_error_prob t ~bits = t.m_frame_error_prob ~bits
+
+let copy t = t.m_copy ()
+
+let describe t = t.m_describe ()
+
+let sequential_fates_into f rng ~header_bits ~payload_bits dst ~n =
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i (f rng ~header_bits ~payload_bits)
+  done

@@ -139,6 +139,12 @@ let all =
       run = (fun ?quick ppf -> E22_corruption.run ?quick ppf);
       points = E22_corruption.points;
     };
+    {
+      id = "e23";
+      name = E23_trace_replay.name;
+      run = (fun ?quick ppf -> E23_trace_replay.run ?quick ppf);
+      points = E23_trace_replay.points;
+    };
   ]
 
 let find id =

@@ -19,7 +19,22 @@ type config = {
   traffic : [ `Saturating | `Rate of float ];
   horizon : float;
   blackout : (float * float) option;
+  channel_trace : Channel.Trace_model.data option;
 }
+
+(* Process-wide trace default for the CLI's --channel-trace flag: a
+   config with [channel_trace = None] picks it up. Resolved into the
+   config at the top of [run_watched], before fingerprinting, so
+   content-addressed captures still key on the effective channel. Set
+   before launching runs; worker domains only read it. *)
+let default_channel_trace : Channel.Trace_model.data option ref = ref None
+
+let set_default_channel_trace d = default_channel_trace := d
+
+let resolve_trace cfg =
+  match (cfg.channel_trace, !default_channel_trace) with
+  | None, Some d -> { cfg with channel_trace = Some d }
+  | _ -> cfg
 
 let default =
   {
@@ -34,6 +49,7 @@ let default =
     traffic = `Saturating;
     horizon = 60.;
     blackout = None;
+    channel_trace = None;
   }
 
 type result = {
@@ -58,9 +74,14 @@ let t_f cfg = float_of_int (iframe_bits cfg) /. cfg.data_rate_bps
 let rtt cfg = 2. *. cfg.distance_m /. Channel.Link.speed_of_light
 
 let effective_ber cfg =
-  match cfg.burst with
-  | None -> cfg.ber
-  | Some b ->
+  match ((resolve_trace cfg).channel_trace, cfg.burst) with
+  | Some data, _ ->
+      (* the BER whose uniform model matches the trace's empirical
+         frame-error rate — keeps the §4 analytic overlays meaningful *)
+      let fer = Float.min (Channel.Trace_model.error_rate data) 0.999 in
+      Channel.Error_model.ber_for_frame_error_prob ~bits:(iframe_bits cfg) ~fer
+  | None, None -> cfg.ber
+  | None, Some b ->
       (* stationary average of the two-state chain *)
       let pi_bad = b.mean_burst_bits /. (b.mean_burst_bits +. b.mean_gap_bits) in
       (pi_bad *. b.ber_bad) +. ((1. -. pi_bad) *. b.ber_good)
@@ -83,9 +104,15 @@ let default_lams_params cfg =
 
 let error_models cfg ~rng:_ =
   let iframe_error =
-    match cfg.burst with
-    | None -> Channel.Error_model.uniform ~ber:cfg.ber ()
-    | Some b ->
+    match (cfg.channel_trace, cfg.burst) with
+    | Some data, _ ->
+        (* the replicate seed selects the trace window: replicates see
+           distinct stretches of one recording, each fully deterministic
+           (replay consumes no RNG), so --jobs stays byte-identical *)
+        Channel.Trace_model.replay ~policy:Channel.Trace_model.Loop
+          ~offset:cfg.seed data
+    | None, None -> Channel.Error_model.uniform ~ber:cfg.ber ()
+    | None, Some b ->
         Channel.Error_model.gilbert_elliott ~ber_good:b.ber_good
           ~ber_bad:b.ber_bad ~mean_burst_bits:b.mean_burst_bits
           ~mean_gap_bits:b.mean_gap_bits ()
@@ -121,6 +148,7 @@ let trace_fingerprint ?faults ?reverse_faults ~watch cfg protocol =
     ]
 
 let run_watched ?faults ?reverse_faults ?recorder ~watch cfg protocol =
+  let cfg = resolve_trace cfg in
   (* with no explicit recorder, a process-wide Trace.Config enables
      capture to content-addressed files in its directory *)
   let capture =

@@ -28,11 +28,24 @@ type config = {
   blackout : (float * float) option;
       (** [(start, length)]: take both link directions down at [start]
           for [length] simulated seconds (the E9 failure drill) *)
+  channel_trace : Channel.Trace_model.data option;
+      (** replay this recorded trace on the I-frame channel instead of
+          the synthetic [ber]/[burst] models; the replicate seed selects
+          the replay offset, so replicates see distinct windows while
+          each run stays deterministic. Control frames keep
+          [cframe_ber]. *)
 }
 
 val default : config
 (** seed 1, 4,000 km, 300 Mbit/s, 1024 B payloads, BER 1e-5 for both
-    frame classes, 2,000 saturating frames, 60 s horizon, no blackout. *)
+    frame classes, 2,000 saturating frames, 60 s horizon, no blackout,
+    no channel trace. *)
+
+val set_default_channel_trace : Channel.Trace_model.data option -> unit
+(** Process-wide fallback for [channel_trace] (the [--channel-trace] CLI
+    flag): a config with [channel_trace = None] inherits it. Resolved
+    into the config before fingerprinting and model construction. Set it
+    before launching runs; worker domains only read. *)
 
 type result = {
   metrics : Dlc.Metrics.t;

@@ -1,0 +1,35 @@
+(** Capture live frame fates from a link into a replayable channel
+    trace.
+
+    A fates recorder taps a {!Channel.Link} and notes each frame's
+    observed fate in arrival order — [Tap_rx] status maps to
+    clean/payload-corrupt/header-corrupt, [Tap_lost] to lost — giving a
+    {!Channel.Trace_model} trace of what the (synthetic or scripted)
+    channel actually did to a session. Saved traces feed the replay
+    backend and {!Channel.Calibrate}, closing the record → replay →
+    calibrate loop on live simulations.
+
+    By default only data frames are captured ([data_only = true]): the
+    replayed trace then pairs with a clean control channel, matching the
+    paper's strong-FEC control-frame assumption. *)
+
+type t
+
+val create : ?data_only:bool -> unit -> t
+
+val attach : t -> Channel.Link.t -> unit
+(** Adds a tap ({!Channel.Link.add_tap}); existing taps keep firing. *)
+
+val observe : t -> Channel.Link.tap_event -> unit
+(** The tap itself, for callers managing their own tap fan-out. *)
+
+val length : t -> int
+(** Frames captured so far. *)
+
+val fates : t -> Channel.Trace_model.data
+(** Snapshot of the captured fate sequence. *)
+
+val save : ?comment:string -> t -> string -> unit
+(** Write the captured trace in the v1 trace-file format. *)
+
+val fate_of_status : Channel.Link.status -> Channel.Model.fate

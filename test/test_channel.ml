@@ -146,11 +146,11 @@ let test_fates_into_perfect_and_bounds () =
       if f <> want then Alcotest.failf "slot %d clobbered" i)
     dst;
   Alcotest.check_raises "n too large"
-    (Invalid_argument "Error_model.fates_into: n out of range") (fun () ->
+    (Invalid_argument "Channel.Model.fates_into: n out of range") (fun () ->
       Channel.Error_model.fates_into Channel.Error_model.perfect rng
         ~header_bits:8 ~payload_bits:8 dst ~n:9);
   Alcotest.check_raises "negative n"
-    (Invalid_argument "Error_model.fates_into: n out of range") (fun () ->
+    (Invalid_argument "Channel.Model.fates_into: n out of range") (fun () ->
       Channel.Error_model.fates_into Channel.Error_model.perfect rng
         ~header_bits:8 ~payload_bits:8 dst ~n:(-1))
 

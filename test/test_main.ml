@@ -13,6 +13,7 @@ let () =
       ("fec", Test_fec.suite);
       ("reed-solomon", Test_reed_solomon.suite);
       ("channel", Test_channel.suite);
+      ("channel-model", Test_channel_model.suite);
       ("orbit", Test_orbit.suite);
       ("dlc-metrics", Test_dlc.suite);
       ("lams-dlc", Test_lams_dlc.suite);
