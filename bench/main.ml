@@ -48,6 +48,28 @@ let bench_engine_events_fn () =
   done;
   Sim.Engine.run e
 
+(* Steady-state scheduling through the arena + timer wheel: one
+   persistent engine, one pre-allocated [int -> unit] callback, delays
+   spanning all three tiers of the event index (near heap, wheel
+   buckets, overflow heap — 80 ms is past the wheel horizon). After the
+   arena has grown to its working size this must not allocate at all
+   (gated by alloc-gate): no closure per schedule, no record per event.
+   The delay constants are captured once so no float is boxed per call. *)
+let bench_engine_schedule_fn =
+  let e = Sim.Engine.create () in
+  let noop _ = () in
+  let d0 = 5e-7 and d1 = 6.1e-5 and d2 = 9.7e-4 and d3 = 8e-2 in
+  fun () ->
+    for i = 0 to 2_499 do
+      let d =
+        match i land 3 with 0 -> d0 | 1 -> d1 | 2 -> d2 | _ -> d3
+      in
+      ignore
+        (Sim.Engine.schedule_fn e ~delay:d ~fn:noop ~arg:i
+          : Sim.Engine.event_id)
+    done;
+    Sim.Engine.run e
+
 let bench_rng_fn =
   (* int draws: unlike [unit_float], the result is immediate, so the
      subject exercises the generator itself rather than float boxing at
@@ -130,6 +152,21 @@ let bench_ge_batch_fn =
     Channel.Error_model.fates_into model rng ~header_bits:104
       ~payload_bits:8192 dst ~n:1_000
 
+(* Full bit-level pass — scratch encode, FEC (identity: in-place),
+   exact bit flips from the uniform model, allocation-free verify — per
+   frame. The steady-state decode-side counterpart of the scratch
+   encode subject; gated by alloc-gate. *)
+let bench_coded_path_status_fn =
+  let rng = Sim.Rng.create ~seed:11 in
+  let path =
+    Channel.Coded_path.create ~rng ~iframe_code:Fec.Code.identity
+      ~cframe_code:Fec.Code.identity
+      ~error_model:(Channel.Error_model.uniform ~ber:1e-4 ())
+  in
+  let frame = Frame.Wire.Data (Frame.Iframe.create ~seq:3 ~payload:payload_1k) in
+  fun () ->
+    ignore (Channel.Coded_path.transmit_status path frame : Channel.Link.status)
+
 let run_session protocol =
   let cfg = { Experiments.Scenario.default with Experiments.Scenario.n_frames = 500 } in
   ignore (Experiments.Scenario.run cfg protocol : Experiments.Scenario.result)
@@ -176,6 +213,7 @@ let bench_headline_fn () = traced_lams_session headline_frames
 let micro_fns =
   [
     ("sim: 10k scheduled events", bench_engine_events_fn);
+    ("sim: steady-state engine schedule+run", bench_engine_schedule_fn);
     ("sim: 10k rng draws", bench_rng_fn);
     ("frame: crc16 of 1 kB", bench_crc16_fn);
     ("frame: crc32 of 1 kB", bench_crc32_fn);
@@ -186,6 +224,7 @@ let micro_fns =
     ("fec: viterbi decode 256 bits (reference)", bench_viterbi_reference_fn);
     ("channel: 1k Gilbert-Elliott frame fates", bench_ge_model_fn);
     ("channel: 1k Gilbert-Elliott frame fates, batched", bench_ge_batch_fn);
+    ("channel: coded-path status, identity code, 1 kB", bench_coded_path_status_fn);
     ("protocol: LAMS-DLC 500-frame session", bench_lams_session_fn);
     ("protocol: SR-HDLC 500-frame session", bench_hdlc_session_fn);
     ("trace: LAMS-DLC 500-frame session, recorded", bench_lams_session_traced_fn);
@@ -198,7 +237,9 @@ let micro_fns =
 let zero_alloc_subjects =
   [
     "lams-dlc sim: 10k rng draws";
+    "lams-dlc sim: steady-state engine schedule+run";
     "lams-dlc frame: scratch encode 1 kB I-frame";
+    "lams-dlc channel: coded-path status, identity code, 1 kB";
   ]
 
 let zero_alloc_slack_words = 8.

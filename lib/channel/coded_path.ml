@@ -3,7 +3,22 @@ type t = {
   iframe_code : Fec.Code.t;
   cframe_code : Fec.Code.t;
   error_model : Error_model.t;
-  scratch : Frame.Codec.scratch; (* reused encode buffer, one per path *)
+  (* Per-path scratch, reused every frame: encode buffer, three bit
+     buffers (clean serialisation, codeword, decoded image), and the
+     flipped-position vector. With an in-place code (encode_into /
+     decode_into present, e.g. identity) a steady-state transmit touches
+     only these and allocates nothing. *)
+  scratch : Frame.Codec.scratch;
+  clean : Fec.Bitbuf.t;
+  coded : Fec.Bitbuf.t;
+  decoded : Fec.Bitbuf.t;
+  flips : Model.Positions.t;
+  (* results of the last channel pass; mutable fields rather than a
+     returned tuple so the status-only path stays allocation-free *)
+  mutable last_decoded : Fec.Bitbuf.t;
+  mutable last_clean_len : int;
+  mutable last_bit_errors : int;
+  mutable last_residual_errors : int;
 }
 
 type outcome = {
@@ -13,12 +28,21 @@ type outcome = {
 }
 
 let create ~rng ~iframe_code ~cframe_code ~error_model =
+  let decoded = Fec.Bitbuf.create () in
   {
     rng;
     iframe_code;
     cframe_code;
     error_model;
     scratch = Frame.Codec.create_scratch ();
+    clean = Fec.Bitbuf.create ();
+    coded = Fec.Bitbuf.create ();
+    decoded;
+    flips = Model.Positions.create ();
+    last_decoded = decoded;
+    last_clean_len = 0;
+    last_bit_errors = 0;
+    last_residual_errors = 0;
   }
 
 let code_for t frame =
@@ -28,40 +52,67 @@ let coded_bits t frame =
   let code = code_for t frame in
   code.Fec.Code.coded_bits ~data_bits:(8 * Frame.Wire.size_bytes frame)
 
-let transmit t frame =
+(* One pass through encode → FEC → bit flips → FEC⁻¹, leaving the decoded
+   byte image in [t.last_decoded] (first [t.last_clean_len] bytes valid)
+   and the error counts in the [last_*] fields. Codes without in-place
+   entry points fall back to their allocating closures. *)
+let channel_pass t frame =
   let code = code_for t frame in
   let clean_len = Frame.Codec.encode_scratch_into t.scratch frame in
-  let clean_bytes =
-    Bytes.sub_string (Frame.Codec.scratch_buffer t.scratch) 0 clean_len
-  in
   let data_bits = 8 * clean_len in
-  let clean_coded = code.Fec.Code.encode (Fec.Bitbuf.of_string clean_bytes) in
-  let n = Fec.Bitbuf.length clean_coded in
-  let flips = Error_model.error_positions t.error_model t.rng ~bits:n in
-  List.iter
-    (fun pos -> Fec.Bitbuf.set clean_coded pos (not (Fec.Bitbuf.get clean_coded pos)))
-    flips;
-  let decoded_bits = code.Fec.Code.decode clean_coded ~data_bits in
-  (* decode straight from the bit-buffer's backing string: no exact-size
-     copy of the received frame is materialised *)
-  let rx_bytes = Bytes.unsafe_of_string (Fec.Bitbuf.to_string decoded_bits) in
-  let residual_errors =
-    let d = ref 0 in
-    for i = 0 to clean_len - 1 do
-      let x =
-        Char.code (Bytes.unsafe_get rx_bytes i)
-        lxor Char.code (String.unsafe_get clean_bytes i)
-      in
-      let x = ref x in
-      while !x <> 0 do
-        incr d;
-        x := !x land (!x - 1)
-      done
-    done;
-    !d
+  Fec.Bitbuf.fill_bytes t.clean
+    (Frame.Codec.scratch_buffer t.scratch)
+    ~pos:0 ~len:clean_len;
+  let coded =
+    match code.Fec.Code.encode_into with
+    | Some f ->
+        f t.clean t.coded;
+        t.coded
+    | None -> code.Fec.Code.encode t.clean
   in
-  let bit_errors = List.length flips in
-  match Frame.Codec.decode ~pos:0 ~len:clean_len rx_bytes with
+  let n = Fec.Bitbuf.length coded in
+  Model.Positions.clear t.flips;
+  Error_model.error_positions_into t.error_model t.rng ~bits:n t.flips;
+  let nflips = Model.Positions.length t.flips in
+  for i = 0 to nflips - 1 do
+    let pos = Model.Positions.unsafe_get t.flips i in
+    Fec.Bitbuf.set coded pos (not (Fec.Bitbuf.get coded pos))
+  done;
+  let decoded =
+    match code.Fec.Code.decode_into with
+    | Some f ->
+        f coded ~data_bits t.decoded;
+        t.decoded
+    | None -> code.Fec.Code.decode coded ~data_bits
+  in
+  t.last_decoded <- decoded;
+  t.last_clean_len <- clean_len;
+  t.last_bit_errors <- nflips;
+  (* residual popcount against the clean serialisation still sitting in
+     the encode scratch ([fill_bytes] copied it out, nothing overwrote
+     the scratch since) *)
+  let rx = Fec.Bitbuf.bytes decoded in
+  let clean_bytes = Frame.Codec.scratch_buffer t.scratch in
+  let d = ref 0 in
+  for i = 0 to clean_len - 1 do
+    let x =
+      Char.code (Bytes.unsafe_get rx i)
+      lxor Char.code (Bytes.unsafe_get clean_bytes i)
+    in
+    let x = ref x in
+    while !x <> 0 do
+      incr d;
+      x := !x land (!x - 1)
+    done
+  done;
+  t.last_residual_errors <- !d
+
+let transmit t frame =
+  channel_pass t frame;
+  let bit_errors = t.last_bit_errors in
+  let residual_errors = t.last_residual_errors in
+  let rx = Fec.Bitbuf.bytes t.last_decoded in
+  match Frame.Codec.decode ~pos:0 ~len:t.last_clean_len rx with
   | Ok decoded ->
       ({ status = Link.Rx_ok; bit_errors; residual_errors }, Some decoded)
   | Error (Frame.Codec.Payload_corrupt { seq }) ->
@@ -71,11 +122,25 @@ let transmit t frame =
   | Error _ ->
       ({ status = Link.Rx_header_corrupt; bit_errors; residual_errors }, None)
 
+let transmit_status t frame =
+  channel_pass t frame;
+  match
+    Frame.Codec.verify_slice
+      (Fec.Bitbuf.bytes t.last_decoded)
+      ~pos:0 ~len:t.last_clean_len
+  with
+  | Frame.Codec.V_ok -> Link.Rx_ok
+  | Frame.Codec.V_payload_corrupt -> Link.Rx_payload_corrupt
+  | Frame.Codec.V_header_corrupt -> Link.Rx_header_corrupt
+
+let last_bit_errors t = t.last_bit_errors
+
+let last_residual_errors t = t.last_residual_errors
+
 let residual_fer t frame ~trials =
   if trials <= 0 then invalid_arg "Coded_path.residual_fer: trials must be > 0";
   let bad = ref 0 in
   for _ = 1 to trials do
-    let outcome, _ = transmit t frame in
-    if outcome.status <> Link.Rx_ok then incr bad
+    if transmit_status t frame <> Link.Rx_ok then incr bad
   done;
   float_of_int !bad /. float_of_int trials

@@ -51,7 +51,7 @@ let rec perfect_model () =
     m_fates_into =
       (fun _rng ~header_bits:_ ~payload_bits:_ dst ~n -> Array.fill dst 0 n Clean);
     m_advance = (fun _rng ~bits:_ -> ());
-    m_error_positions = (fun _rng ~bits:_ -> []);
+    m_error_positions_into = (fun _rng ~bits:_ _dst -> ());
     m_frame_error_prob = (fun ~bits:_ -> 0.);
     m_copy = (fun () -> perfect_model ());
     m_describe = (fun () -> "perfect");
@@ -73,26 +73,32 @@ let uniform_p u ~bits =
     p
   end
 
-(* Uniform errors in [offset, offset+len): sample a binomial count, then
-   distinct positions. For simulation-scale error counts (a handful per
-   frame) rejection sampling of distinct positions is cheap. *)
-let uniform_positions rng ~ber ~offset ~len acc =
-  if ber <= 0. || len <= 0 then acc
-  else begin
+(* Uniform errors in [offset, offset+len): sample a binomial count,
+   then distinct positions by rejection, appended to [dst]. The
+   duplicate check is a linear scan over the positions drawn so far in
+   this segment (entries [from..) of [dst]) — error counts are a
+   handful per frame, so the scan is cheaper than a hash table and
+   allocates nothing. The accept/reject decisions are membership tests
+   against the same set the historical hash-table dedup consulted, so
+   the RNG draw sequence (and every seeded artifact) is unchanged. *)
+let uniform_positions_into rng ~ber ~offset ~len dst =
+  if ber > 0. && len > 0 then begin
     let count = Sim.Rng.binomial rng ~n:len ~p:ber in
-    let seen = Hashtbl.create (max 16 count) in
-    let rec draw k acc =
-      if k = 0 then acc
-      else begin
-        let pos = offset + Sim.Rng.int rng len in
-        if Hashtbl.mem seen pos then draw k acc
-        else begin
-          Hashtbl.add seen pos ();
-          draw (k - 1) (pos :: acc)
-        end
+    let from = Model.Positions.length dst in
+    (* while loop, not a local [rec] helper: a closure over the five
+       free variables would be allocated per call *)
+    let remaining = ref count in
+    while !remaining > 0 do
+      let pos = offset + Sim.Rng.int rng len in
+      let seen = ref false in
+      for i = from to Model.Positions.length dst - 1 do
+        if Model.Positions.unsafe_get dst i = pos then seen := true
+      done;
+      if not !seen then begin
+        Model.Positions.push dst pos;
+        decr remaining
       end
-    in
-    draw count acc
+    done
   end
 
 let rec uniform_model (u : uniform) =
@@ -129,10 +135,10 @@ let rec uniform_model (u : uniform) =
           end
         done);
     m_advance = (fun _rng ~bits:_ -> ());
-    m_error_positions =
-      (fun rng ~bits ->
-        List.sort_uniq compare
-          (uniform_positions rng ~ber:u.ber ~offset:0 ~len:bits []));
+    m_error_positions_into =
+      (fun rng ~bits dst ->
+        uniform_positions_into rng ~ber:u.ber ~offset:0 ~len:bits dst;
+        Model.Positions.sort dst);
     m_frame_error_prob =
       (fun ~bits ->
         let p_err = p_any_error ~ber:u.ber ~bits in
@@ -297,10 +303,11 @@ let rec ge_model (g : ge) =
       (fun rng ~header_bits ~payload_bits dst ~n ->
         ge_fates_into g rng ~header_bits ~payload_bits dst ~n);
     m_advance = (fun rng ~bits -> ge_advance g rng ~bits);
-    m_error_positions =
-      (fun rng ~bits ->
-        (* walk sojourns, sampling uniformly within each segment *)
-        let acc = ref [] in
+    m_error_positions_into =
+      (fun rng ~bits dst ->
+        (* walk sojourns, sampling uniformly within each segment;
+           segments cover disjoint ascending ranges, so one final sort
+           yields the ascending contract *)
         let pos = ref 0 in
         while !pos < bits do
           let p_leave, ber =
@@ -313,12 +320,12 @@ let rec ge_model (g : ge) =
             else Sim.Rng.geometric rng ~p:p_leave
           in
           let here = min sojourn (bits - !pos) in
-          acc := uniform_positions rng ~ber ~offset:!pos ~len:here !acc;
+          uniform_positions_into rng ~ber ~offset:!pos ~len:here dst;
           pos := !pos + here;
           if sojourn <= here && p_leave > 0. then
             g.state <- (match g.state with Good -> Bad | Bad -> Good)
         done;
-        List.sort_uniq compare !acc);
+        Model.Positions.sort dst);
     m_frame_error_prob =
       (fun ~bits ->
         (* stationary distribution of the two-state chain *)
@@ -356,6 +363,7 @@ let fate = Model.fate
 let fates_into = Model.fates_into
 let fates = Model.fates
 let advance = Model.advance
+let error_positions_into = Model.error_positions_into
 let error_positions = Model.error_positions
 let frame_error_prob = Model.frame_error_prob
 let copy = Model.copy

@@ -84,12 +84,19 @@ val advance : t -> Sim.Rng.t -> bits:int -> unit
     layer calls this for idle gaps so that a stalled sender can outwait a
     burst. No-op for memoryless models. *)
 
+val error_positions_into :
+  t -> Sim.Rng.t -> bits:int -> Model.Positions.t -> unit
+(** Exact bit-level sampling: append the positions (ascending, distinct,
+    in [0, bits)) where the channel flips a bit to the caller's scratch
+    vector, advancing burst state by [bits]. Used by the bit-level coded
+    path ({!Coded_path}) where frames are really serialised, FEC-encoded
+    and damaged bit by bit — the scratch vector is reused per frame, so
+    sampling allocates nothing in steady state. [Lost] outcomes do not
+    occur at this level (frame loss is a frame-scale abstraction). *)
+
 val error_positions : t -> Sim.Rng.t -> bits:int -> int list
-(** Exact bit-level sampling: the positions (ascending, in [0, bits))
-    where the channel flips a bit, advancing burst state by [bits]. Used
-    by the bit-level coded path ({!Coded_path}) where frames are really
-    serialised, FEC-encoded and damaged bit by bit. [Lost] outcomes do
-    not occur at this level (frame loss is a frame-scale abstraction). *)
+(** List-returning convenience over {!error_positions_into}; allocates
+    (tests and cold paths only). *)
 
 val frame_error_prob : t -> bits:int -> float
 (** Analytic frame-error probability (any bit error or loss) for a frame

@@ -17,6 +17,10 @@ type tap_event =
 
 type fault_decision = Pass | Drop | Corrupt_payload | Corrupt_header
 
+(* Inert frame written into vacated ring slots so the link never pins a
+   delivered frame's payload. *)
+let dummy_frame = Frame.Wire.Data (Frame.Iframe.create ~seq:0 ~payload:"")
+
 type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
@@ -30,48 +34,71 @@ type t = {
   mutable on_idle : (unit -> unit) option;
   mutable transmitting : bool;
   queue : Frame.Wire.t Queue.t;
-  mutable last_arrival : float;
-  mutable last_fate_at : float;  (* burst chains advance over idle time *)
+  (* Per-frame engine callbacks are allocated once here, not per frame:
+     [serial_done] handles end-of-serialisation for the single frame in
+     the transmitter ([cur_*] fields), and [arrive_fn] delivers the
+     oldest in-flight frame from the ring. Arrival times are clamped
+     monotone (FIFO below), so ring order is arrival order. Scalar
+     floats that cross event boundaries live in one-element float
+     arrays: flat float-array stores stay unboxed on non-flambda
+     builds, where a mutable float field in a mixed record would box on
+     every store. *)
+  mutable serial_done : unit -> unit;
+  mutable arrive_fn : int -> unit;
+  mutable cur_frame : Frame.Wire.t;
+  cur_t_sent : float array;
+  mutable cur_lost : bool;  (* sent while down: lose it at departure *)
+  mutable ring_frames : Frame.Wire.t array;  (* capacity a power of two *)
+  mutable ring_t_sent : float array;
+  mutable ring_head : int;
+  mutable ring_len : int;
+  last_arrival : float array;
+  last_fate_at : float array;  (* burst chains advance over idle time *)
   mutable up : bool;
   stats : stats;
 }
 
 let speed_of_light = 299_792_458.
 
-let create engine ~rng ~distance_m ~data_rate_bps ~iframe_error ~cframe_error =
+let make engine ~rng ~distance_m ~data_rate_bps ~iframe_error ~cframe_error =
   if data_rate_bps <= 0. then invalid_arg "Link.create: data rate must be > 0";
-  {
-    engine;
-    rng;
-    distance_m;
-    data_rate_bps;
-    iframe_error;
-    cframe_error;
-    receiver = None;
-    taps = [];
-    fault = None;
-    on_idle = None;
-    transmitting = false;
-    queue = Queue.create ();
-    last_arrival = 0.;
-    last_fate_at = 0.;
-    up = true;
-    stats =
-      {
-        frames_sent = 0;
-        bits_sent = 0;
-        frames_delivered = 0;
-        frames_corrupted = 0;
-        frames_lost = 0;
-      };
-  }
-
-let create_static engine ~rng ~distance_m ~data_rate_bps ~iframe_error
-    ~cframe_error =
-  if distance_m < 0. then invalid_arg "Link.create_static: negative distance";
-  create engine ~rng
-    ~distance_m:(fun _ -> distance_m)
-    ~data_rate_bps ~iframe_error ~cframe_error
+  let t =
+    {
+      engine;
+      rng;
+      distance_m;
+      data_rate_bps;
+      iframe_error;
+      cframe_error;
+      receiver = None;
+      taps = [];
+      fault = None;
+      on_idle = None;
+      transmitting = false;
+      queue = Queue.create ();
+      serial_done = ignore;
+      arrive_fn = ignore;
+      cur_frame = dummy_frame;
+      cur_t_sent = [| 0. |];
+      cur_lost = false;
+      ring_frames = Array.make 16 dummy_frame;
+      ring_t_sent = Array.make 16 0.;
+      ring_head = 0;
+      ring_len = 0;
+      last_arrival = [| 0. |];
+      last_fate_at = [| 0. |];
+      up = true;
+      stats =
+        {
+          frames_sent = 0;
+          bits_sent = 0;
+          frames_delivered = 0;
+          frames_corrupted = 0;
+          frames_lost = 0;
+        };
+    }
+  in
+  t
 
 let set_receiver t f = t.receiver <- Some f
 
@@ -80,6 +107,10 @@ let set_tap t f = t.taps <- [ f ]
 let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let tap t ev = List.iter (fun f -> f ev) t.taps
+
+(* Tap events are variant boxes; only build them when a tap is
+   installed. *)
+let[@inline] tapping t = t.taps <> []
 
 let set_fault t f = t.fault <- Some f
 
@@ -126,18 +157,20 @@ let error_model t frame =
 let deliver t frame ~t_sent =
   if not t.up then begin
     t.stats.frames_lost <- t.stats.frames_lost + 1;
-    tap t (Tap_lost frame)
+    if tapping t then tap t (Tap_lost frame)
   end
   else begin
     let header_bits = header_bits_of frame in
     let payload_bits = payload_bits_of frame in
     (* burst state evolved during any idle gap since the last frame *)
     let now = Sim.Engine.now t.engine in
-    let span_bits = (now -. t.last_fate_at) *. t.data_rate_bps in
+    let span_bits =
+      (now -. Array.unsafe_get t.last_fate_at 0) *. t.data_rate_bps
+    in
     let idle_bits =
       int_of_float (Float.max 0. (span_bits -. float_of_int (header_bits + payload_bits)))
     in
-    t.last_fate_at <- now;
+    Array.unsafe_set t.last_fate_at 0 now;
     (* A scripted fault overrides the stochastic channel for this frame;
        Pass falls through to the error model. *)
     let injected =
@@ -159,7 +192,7 @@ let deliver t frame ~t_sent =
     match fate with
     | Error_model.Lost ->
         t.stats.frames_lost <- t.stats.frames_lost + 1;
-        tap t (Tap_lost frame)
+        if tapping t then tap t (Tap_lost frame)
     | Error_model.Clean | Error_model.Corrupt _ -> (
         let status =
           match fate with
@@ -173,45 +206,102 @@ let deliver t frame ~t_sent =
         match t.receiver with
         | None ->
             t.stats.frames_lost <- t.stats.frames_lost + 1;
-            tap t (Tap_lost frame)
+            if tapping t then tap t (Tap_lost frame)
         | Some f ->
             t.stats.frames_delivered <- t.stats.frames_delivered + 1;
             let rx = { frame; status; t_sent } in
-            tap t (Tap_rx rx);
+            if tapping t then tap t (Tap_rx rx);
             f rx)
   end
 
-let rec start_next t =
-  match Queue.take_opt t.queue with
-  | None -> (
-      t.transmitting <- false;
-      match t.on_idle with None -> () | Some f -> f ())
-  | Some frame ->
-      t.transmitting <- true;
-      let serialisation = tx_time t frame in
-      let t_sent = Sim.Engine.now t.engine in
-      t.stats.frames_sent <- t.stats.frames_sent + 1;
-      t.stats.bits_sent <- t.stats.bits_sent + Frame.Wire.size_bits frame;
-      tap t (Tap_tx frame);
-      let departure = t_sent +. serialisation in
-      let lost_in_outage = not t.up in
-      ignore
-        (Sim.Engine.schedule t.engine ~delay:serialisation (fun () ->
-             let arrival = departure +. propagation_delay t ~at:departure in
-             (* FIFO clamp: arrivals never reorder. *)
-             let arrival = Float.max arrival t.last_arrival in
-             t.last_arrival <- arrival;
-             if lost_in_outage then begin
-               t.stats.frames_lost <- t.stats.frames_lost + 1;
-               tap t (Tap_lost frame)
-             end
-             else
-               ignore
-                 (Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
-                      deliver t frame ~t_sent)
-                   : Sim.Engine.event_id);
-             start_next t)
-          : Sim.Engine.event_id)
+let ring_push t frame t_sent =
+  let cap = Array.length t.ring_frames in
+  if t.ring_len = cap then begin
+    let ncap = 2 * cap in
+    let nf = Array.make ncap dummy_frame in
+    let nt = Array.make ncap 0. in
+    for i = 0 to t.ring_len - 1 do
+      let j = (t.ring_head + i) land (cap - 1) in
+      nf.(i) <- t.ring_frames.(j);
+      nt.(i) <- t.ring_t_sent.(j)
+    done;
+    t.ring_frames <- nf;
+    t.ring_t_sent <- nt;
+    t.ring_head <- 0
+  end;
+  let i = (t.ring_head + t.ring_len) land (Array.length t.ring_frames - 1) in
+  Array.unsafe_set t.ring_frames i frame;
+  Array.unsafe_set t.ring_t_sent i t_sent;
+  t.ring_len <- t.ring_len + 1
+
+let arrive t =
+  assert (t.ring_len > 0);
+  let i = t.ring_head in
+  let frame = Array.unsafe_get t.ring_frames i in
+  let t_sent = Array.unsafe_get t.ring_t_sent i in
+  Array.unsafe_set t.ring_frames i dummy_frame;
+  t.ring_head <- (i + 1) land (Array.length t.ring_frames - 1);
+  t.ring_len <- t.ring_len - 1;
+  deliver t frame ~t_sent
+
+let start_next t =
+  if Queue.is_empty t.queue then begin
+    t.transmitting <- false;
+    match t.on_idle with None -> () | Some f -> f ()
+  end
+  else begin
+    let frame = Queue.pop t.queue in
+    t.transmitting <- true;
+    let serialisation = tx_time t frame in
+    Array.unsafe_set t.cur_t_sent 0 (Sim.Engine.now t.engine);
+    t.cur_frame <- frame;
+    t.cur_lost <- not t.up;
+    t.stats.frames_sent <- t.stats.frames_sent + 1;
+    t.stats.bits_sent <- t.stats.bits_sent + Frame.Wire.size_bits frame;
+    if tapping t then tap t (Tap_tx frame);
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:serialisation t.serial_done
+        : Sim.Engine.event_id)
+  end
+
+(* End of serialisation for [cur_frame]: the engine clock now reads the
+   departure instant (the same [t_sent +. serialisation] float the
+   scheduler computed). Hand the frame to the propagation ring and free
+   the transmitter. *)
+let serial_done t =
+  let departure = Sim.Engine.now t.engine in
+  let frame = t.cur_frame in
+  t.cur_frame <- dummy_frame;
+  let d = t.distance_m departure in
+  if d < 0. then invalid_arg "Link: negative distance";
+  let arrival = departure +. (d /. speed_of_light) in
+  (* FIFO clamp: arrivals never reorder. *)
+  let arrival = Float.max arrival (Array.unsafe_get t.last_arrival 0) in
+  Array.unsafe_set t.last_arrival 0 arrival;
+  if t.cur_lost then begin
+    t.stats.frames_lost <- t.stats.frames_lost + 1;
+    if tapping t then tap t (Tap_lost frame)
+  end
+  else begin
+    ring_push t frame (Array.unsafe_get t.cur_t_sent 0);
+    ignore
+      (Sim.Engine.schedule_at_fn t.engine ~time:arrival ~fn:t.arrive_fn ~arg:0
+        : Sim.Engine.event_id)
+  end;
+  start_next t
+
+let create engine ~rng ~distance_m ~data_rate_bps ~iframe_error ~cframe_error =
+  let t = make engine ~rng ~distance_m ~data_rate_bps ~iframe_error ~cframe_error in
+  t.serial_done <- (fun () -> serial_done t);
+  t.arrive_fn <- (fun _ -> arrive t);
+  t
+
+let create_static engine ~rng ~distance_m ~data_rate_bps ~iframe_error
+    ~cframe_error =
+  if distance_m < 0. then invalid_arg "Link.create_static: negative distance";
+  create engine ~rng
+    ~distance_m:(fun _ -> distance_m)
+    ~data_rate_bps ~iframe_error ~cframe_error
 
 let send t frame =
   Queue.add frame t.queue;

@@ -1,11 +1,53 @@
 type fate = Clean | Corrupt of { header : bool } | Lost
 
+module Positions = struct
+  type t = { mutable buf : int array; mutable len : int }
+
+  let create ?(capacity = 64) () = { buf = Array.make (max capacity 4) 0; len = 0 }
+
+  let clear t = t.len <- 0
+
+  let length t = t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Positions.get: out of bounds";
+    Array.unsafe_get t.buf i
+
+  let[@inline] unsafe_get t i = Array.unsafe_get t.buf i
+
+  let push t pos =
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      let nbuf = Array.make (2 * cap) 0 in
+      Array.blit t.buf 0 nbuf 0 cap;
+      t.buf <- nbuf
+    end;
+    Array.unsafe_set t.buf t.len pos;
+    t.len <- t.len + 1
+
+  (* In-place binary insertion sort of the filled prefix: counts are a
+     handful of flipped bits per frame, and the sort must not allocate. *)
+  let sort t =
+    let buf = t.buf in
+    for i = 1 to t.len - 1 do
+      let v = Array.unsafe_get buf i in
+      let j = ref (i - 1) in
+      while !j >= 0 && Array.unsafe_get buf !j > v do
+        Array.unsafe_set buf (!j + 1) (Array.unsafe_get buf !j);
+        decr j
+      done;
+      Array.unsafe_set buf (!j + 1) v
+    done
+
+  let to_list t = List.init t.len (fun i -> Array.unsafe_get t.buf i)
+end
+
 type t = {
   m_fate : Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate;
   m_fates_into :
     Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate array -> n:int -> unit;
   m_advance : Sim.Rng.t -> bits:int -> unit;
-  m_error_positions : Sim.Rng.t -> bits:int -> int list;
+  m_error_positions_into : Sim.Rng.t -> bits:int -> Positions.t -> unit;
   m_frame_error_prob : bits:int -> float;
   m_copy : unit -> t;
   m_describe : unit -> string;
@@ -27,7 +69,12 @@ let fates t rng ~header_bits ~payload_bits ~n =
 
 let[@inline] advance t rng ~bits = if bits > 0 then t.m_advance rng ~bits
 
-let error_positions t rng ~bits = t.m_error_positions rng ~bits
+let error_positions_into t rng ~bits dst = t.m_error_positions_into rng ~bits dst
+
+let error_positions t rng ~bits =
+  let dst = Positions.create () in
+  t.m_error_positions_into rng ~bits dst;
+  Positions.to_list dst
 
 let frame_error_prob t ~bits = t.m_frame_error_prob ~bits
 

@@ -19,6 +19,33 @@ type fate =
       (** damaged; [header = true] when the header itself is unreadable *)
   | Lost  (** frame vanishes without trace *)
 
+(** Reusable scratch vector of bit positions, filled by
+    {!error_positions_into} — the coded path keeps one per link and
+    clears it per frame, so exact bit-level sampling allocates nothing
+    in steady state. *)
+module Positions : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val clear : t -> unit
+
+  val length : t -> int
+
+  val get : t -> int -> int
+  (** Bounds-checked; raises [Invalid_argument] outside [0, length). *)
+
+  val unsafe_get : t -> int -> int
+
+  val push : t -> int -> unit
+  (** Append, growing the backing array as needed. *)
+
+  val sort : t -> unit
+  (** In-place ascending sort of the filled prefix; allocation-free. *)
+
+  val to_list : t -> int list
+end
+
 type t = {
   m_fate : Sim.Rng.t -> header_bits:int -> payload_bits:int -> fate;
       (** Draw the fate of one frame and advance channel state by the
@@ -32,10 +59,11 @@ type t = {
   m_advance : Sim.Rng.t -> bits:int -> unit;
       (** Let [bits] bit-times pass with nothing transmitted (idle
           line). No-op for memoryless and frame-indexed backends. *)
-  m_error_positions : Sim.Rng.t -> bits:int -> int list;
-      (** Exact bit-level sampling for the coded path: ascending
-          distinct positions in [0, bits) where the channel flips a
-          bit, advancing state by [bits]. *)
+  m_error_positions_into : Sim.Rng.t -> bits:int -> Positions.t -> unit;
+      (** Exact bit-level sampling for the coded path: append the
+          ascending distinct positions in [0, bits) where the channel
+          flips a bit to the (caller-cleared) scratch vector, advancing
+          state by [bits]. Must not allocate in steady state. *)
   m_frame_error_prob : bits:int -> float;
       (** Analytic (or empirical) frame-error probability for a frame
           of [bits] bits. *)
@@ -62,7 +90,13 @@ val fates : t -> Sim.Rng.t -> header_bits:int -> payload_bits:int -> n:int -> fa
 val advance : t -> Sim.Rng.t -> bits:int -> unit
 (** No-op when [bits <= 0]. *)
 
+val error_positions_into : t -> Sim.Rng.t -> bits:int -> Positions.t -> unit
+(** Append this frame's flipped-bit positions (ascending, distinct, in
+    [0, bits)) to [dst] without clearing it first. *)
+
 val error_positions : t -> Sim.Rng.t -> bits:int -> int list
+(** List-returning convenience over {!error_positions_into} (allocates;
+    tests and cold paths only). *)
 
 val frame_error_prob : t -> bits:int -> float
 

@@ -126,9 +126,11 @@ let replay_describe_policy = function Loop -> "loop" | Truncate -> "truncate"
 (* Dense burst of flips at the start of the span: enough damage that the
    frame CRC cannot pass by accident, expressed at bit level so the
    coded path can exercise its FEC against it. *)
-let burst_positions ~bits =
+let burst_positions_into ~bits dst =
   let k = min bits 32 in
-  List.init k (fun i -> i)
+  for i = 0 to k - 1 do
+    Model.Positions.push dst i
+  done
 
 let replay ?(policy = Loop) ?(offset = 0) data =
   let len = Array.length data in
@@ -152,11 +154,11 @@ let replay ?(policy = Loop) ?(offset = 0) data =
             Array.unsafe_set dst i (next ())
           done);
       m_advance = (fun _rng ~bits:_ -> ());
-      m_error_positions =
-        (fun _rng ~bits ->
+      m_error_positions_into =
+        (fun _rng ~bits dst ->
           match next () with
-          | Model.Clean -> []
-          | Model.Corrupt _ | Model.Lost -> burst_positions ~bits);
+          | Model.Clean -> ()
+          | Model.Corrupt _ | Model.Lost -> burst_positions_into ~bits dst);
       m_frame_error_prob = (fun ~bits:_ -> err_rate);
       m_copy = (fun () -> make !dealt);
       m_describe =

@@ -42,6 +42,32 @@ let of_string s = { data = Bytes.of_string s; len = 8 * String.length s }
 let to_string t =
   Bytes.sub_string t.data 0 ((t.len + 7) / 8)
 
+(* --- zero-copy entry points for scratch-reusing hot paths --------------- *)
+
+let fill_bytes t b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Bitbuf.fill_bytes: slice out of bounds";
+  ensure t (8 * len);
+  Bytes.blit b pos t.data 0 len;
+  t.len <- 8 * len
+
+let bytes t = t.data
+
+let blit_prefix dst src ~bits =
+  if bits < 0 || bits > src.len then
+    invalid_arg "Bitbuf.blit_prefix: bits out of range";
+  ensure dst bits;
+  let nbytes = (bits + 7) / 8 in
+  Bytes.blit src.data 0 dst.data 0 nbytes;
+  (* mask trailing bits of a partial final byte so readers of the byte
+     image (to_string, bytes) never see bits past the prefix *)
+  if bits land 7 <> 0 then begin
+    let keep = 0xFF lsl (8 - (bits land 7)) land 0xFF in
+    Bytes.set_uint8 dst.data (nbytes - 1)
+      (Bytes.get_uint8 dst.data (nbytes - 1) land keep)
+  end;
+  dst.len <- bits
+
 let of_bits bits =
   let t = create () in
   List.iter (push t) bits;

@@ -19,6 +19,24 @@ val of_string : string -> t
 val to_string : t -> string
 (** Pads the final partial byte with zero bits. *)
 
+val fill_bytes : t -> Bytes.t -> pos:int -> len:int -> unit
+(** [fill_bytes t b ~pos ~len] replaces [t]'s contents with the
+    [8 * len] bits of [b[pos..pos+len)] — the in-place counterpart of
+    {!of_string} for hot paths that refill one scratch buffer per frame.
+    Allocates only when the buffer must grow. *)
+
+val bytes : t -> Bytes.t
+(** The backing byte buffer, borrowed: the first
+    [(length t + 7) / 8] bytes hold the bits MSB-first. Invalidated by
+    any later call that grows the buffer; mutating it changes the bits.
+    The in-place counterpart of {!to_string}. *)
+
+val blit_prefix : t -> t -> bits:int -> unit
+(** [blit_prefix dst src ~bits] replaces [dst]'s contents with the first
+    [bits] bits of [src] — the in-place counterpart of
+    [sub ~pos:0 ~len:bits]. Whole-byte blit rather than per-bit copy;
+    trailing bits of a partial final byte are zeroed. *)
+
 val of_bits : bool list -> t
 
 val to_bits : t -> bool list

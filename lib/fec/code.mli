@@ -10,6 +10,14 @@ type t = {
   encode : Bitbuf.t -> Bitbuf.t;
   decode : Bitbuf.t -> data_bits:int -> Bitbuf.t;
   coded_bits : data_bits:int -> int;
+  encode_into : (Bitbuf.t -> Bitbuf.t -> unit) option;
+      (** Allocation-free variant writing into a caller-owned scratch
+          buffer: [f src dst] leaves the codeword of [src] in [dst].
+          [None] when the code has no in-place path; callers fall back
+          to [encode]. *)
+  decode_into : (Bitbuf.t -> data_bits:int -> Bitbuf.t -> unit) option;
+      (** In-place counterpart of [decode]: [f coded ~data_bits dst]
+          leaves the [data_bits] decoded bits in [dst]. *)
 }
 
 val identity : t

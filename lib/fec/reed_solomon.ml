@@ -186,4 +186,6 @@ let code ~n:n_arg ~k:k_arg =
     encode = code_encode;
     decode = code_decode;
     coded_bits = code_coded_bits;
+    encode_into = None;
+    decode_into = None;
   }

@@ -191,6 +191,70 @@ let decode ?(pos = 0) ?len b =
     | t -> Error (Unknown_tag t)
   end
 
+(* --- allocation-free validation ----------------------------------------- *)
+
+type verdict = V_ok | V_payload_corrupt | V_header_corrupt
+
+(* Big-endian 32-bit read returning an immediate int: [get_u32] goes
+   through a boxed [int32], which [verify] must not allocate. *)
+let get_u32i b pos =
+  (get_u8 b pos lsl 24)
+  lor (get_u8 b (pos + 1) lsl 16)
+  lor (get_u8 b (pos + 2) lsl 8)
+  lor get_u8 b (pos + 3)
+
+(* Mirrors [decode]'s checks exactly — same thresholds, same CRCs — but
+   only classifies; nothing is materialised. [Payload_corrupt] maps to
+   [V_payload_corrupt]; every other [error] case collapses to
+   [V_header_corrupt] (the frame is unidentifiable either way). *)
+let verify_slice b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Codec.verify: slice out of bounds";
+  if len < 1 then V_header_corrupt
+  else begin
+    let base = pos in
+    match get_u8 b base with
+    | t when t = tag_iframe ->
+        if len < 9 then V_header_corrupt
+        else if Crc.crc16 b ~pos:base ~len:7 <> get_u16 b (base + 7) then
+          V_header_corrupt
+        else begin
+          let plen = get_u16 b (base + 5) in
+          if len < 9 + plen + 4 then V_header_corrupt
+          else if
+            Crc.crc32_int b ~pos:(base + 9) ~len:plen
+            <> get_u32i b (base + 9 + plen)
+          then V_payload_corrupt
+          else V_ok
+        end
+    | t when t = tag_checkpoint ->
+        if len < 22 then V_header_corrupt
+        else begin
+          let n = get_u16 b (base + 18) in
+          let body = 20 + (4 * n) in
+          if len < body + 2 then V_header_corrupt
+          else if Crc.crc16 b ~pos:base ~len:body <> get_u16 b (base + body)
+          then V_header_corrupt
+          else V_ok
+        end
+    | t when t = tag_request_nak ->
+        if len < 11 then V_header_corrupt
+        else if Crc.crc16 b ~pos:base ~len:9 <> get_u16 b (base + 9) then
+          V_header_corrupt
+        else V_ok
+    | t when t = tag_hdlc ->
+        if len < 9 then V_header_corrupt
+        else if Crc.crc16 b ~pos:base ~len:7 <> get_u16 b (base + 7) then
+          V_header_corrupt
+        else if get_u8 b (base + 1) > 2 then V_header_corrupt
+        else V_ok
+    | _ -> V_header_corrupt
+  end
+
+let verify ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  verify_slice b ~pos ~len
+
 let flip_bit b i =
   if i < 0 || i >= 8 * Bytes.length b then
     invalid_arg "Codec.flip_bit: bit index out of range";

@@ -63,6 +63,26 @@ val decode : ?pos:int -> ?len:int -> Bytes.t -> (Wire.t, error) result
     larger buffer decodes without an intermediate copy. Raises
     [Invalid_argument] when the slice is out of bounds. *)
 
+type verdict = V_ok | V_payload_corrupt | V_header_corrupt
+(** Classification of a received byte image. [V_payload_corrupt] means
+    the I-frame header validated but the payload CRC-32 failed (the
+    receiver can still NAK the identified seq); every other failure —
+    truncation, unknown tag, header or control CRC mismatch — is
+    [V_header_corrupt]: the frame is unidentifiable. *)
+
+val verify : ?pos:int -> ?len:int -> Bytes.t -> verdict
+(** Allocation-free counterpart of {!decode}: runs exactly the same
+    structural and CRC checks but only classifies the slice, without
+    materialising a frame. [verify b = V_ok] iff [decode b = Ok _], and
+    [V_payload_corrupt] iff [decode b = Error (Payload_corrupt _)].
+    For bit-level sweeps that only need the status.
+    Raises [Invalid_argument] when the slice is out of bounds. *)
+
+val verify_slice : Bytes.t -> pos:int -> len:int -> verdict
+(** {!verify} with required slice labels: a dynamic [?len] argument
+    would box a [Some] per call, so per-frame loops use this entry
+    point. *)
+
 val flip_bit : Bytes.t -> int -> unit
 (** [flip_bit b i] flips the [i]-th bit (0-based, MSB-first within each
     byte) in place. Used by bit-level channel simulation and tests. *)

@@ -27,6 +27,9 @@ type t = {
   mutable on_deliver : (payload:string -> seq:int -> unit) option;
   mutable running : bool;
   mutable checkpoints_sent : int;
+  (* engine callbacks allocated once at [create], not per event *)
+  mutable drain_fn : unit -> unit;
+  mutable cp_tick : unit -> unit;
 }
 
 (* --- receiving-buffer occupancy model ---------------------------------- *)
@@ -58,11 +61,7 @@ let enqueue t =
     | None -> t.params.Params.t_proc
     | Some _ -> float_of_int t.queue_len *. service_time t
   in
-  ignore
-    (Sim.Engine.schedule t.engine ~delay (fun () ->
-         t.queue_len <- t.queue_len - 1;
-         update_stop_go t)
-      : Sim.Engine.event_id)
+  ignore (Sim.Engine.schedule t.engine ~delay t.drain_fn : Sim.Engine.event_id)
 
 (* --- checkpoint emission ------------------------------------------------ *)
 
@@ -106,13 +105,9 @@ let regular_checkpoint t =
   t.current_errors <- Int_set.empty;
   send_checkpoint t ~enforced:false ~naks:(cumulative_naks t)
 
-let rec schedule_next_cp t =
+let schedule_next_cp t =
   ignore
-    (Sim.Engine.schedule t.engine ~delay:t.params.Params.w_cp (fun () ->
-         if t.running then begin
-           regular_checkpoint t;
-           schedule_next_cp t
-         end)
+    (Sim.Engine.schedule t.engine ~delay:t.params.Params.w_cp t.cp_tick
       : Sim.Engine.event_id)
 
 let create engine ~params ~reverse ~metrics ~probe =
@@ -133,8 +128,20 @@ let create engine ~params ~reverse ~metrics ~probe =
       on_deliver = None;
       running = true;
       checkpoints_sent = 0;
+      drain_fn = ignore;
+      cp_tick = ignore;
     }
   in
+  t.drain_fn <-
+    (fun () ->
+      t.queue_len <- t.queue_len - 1;
+      update_stop_go t);
+  t.cp_tick <-
+    (fun () ->
+      if t.running then begin
+        regular_checkpoint t;
+        schedule_next_cp t
+      end);
   schedule_next_cp t;
   t
 

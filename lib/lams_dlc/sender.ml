@@ -38,6 +38,7 @@ type t = {
   mutable cp_timer_started : bool;
   mutable got_first_cp : bool;
   mutable last_request_nak : float;
+  mutable wakeup_fn : unit -> unit;  (* allocated once at [create] *)
 }
 
 let backlog t =
@@ -114,11 +115,7 @@ and schedule_wakeup t =
   if not t.wakeup_scheduled then begin
     t.wakeup_scheduled <- true;
     let delay = t.next_allowed_tx -. Sim.Engine.now t.engine in
-    ignore
-      (Sim.Engine.schedule t.engine ~delay (fun () ->
-           t.wakeup_scheduled <- false;
-           maybe_send t)
-        : Sim.Engine.event_id)
+    ignore (Sim.Engine.schedule t.engine ~delay t.wakeup_fn : Sim.Engine.event_id)
   end
 
 and transmit t pend ~is_retx =
@@ -474,8 +471,13 @@ let create engine ~params ~forward ~metrics ~probe =
       cp_timer_started = false;
       got_first_cp = false;
       last_request_nak = neg_infinity;
+      wakeup_fn = ignore;
     }
   in
+  t.wakeup_fn <-
+    (fun () ->
+      t.wakeup_scheduled <- false;
+      maybe_send t);
   Channel.Link.set_on_idle forward (fun () -> maybe_send t);
   t
 

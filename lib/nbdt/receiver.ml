@@ -16,6 +16,7 @@ type t = {
   mutable on_deliver : (payload:string -> seq:int -> unit) option;
   mutable running : bool;
   mutable reports_sent : int;
+  mutable report_tick : unit -> unit;  (* allocated once at [create] *)
 }
 
 let send_report t =
@@ -58,14 +59,10 @@ let send_report t =
     t.metrics.Dlc.Metrics.naks_sent <- t.metrics.Dlc.Metrics.naks_sent + 1;
   Channel.Link.send t.reverse (Frame.Wire.Control report)
 
-let rec schedule_report t =
+let schedule_report t =
   ignore
     (Sim.Engine.schedule t.engine ~delay:t.params.Params.report_interval
-       (fun () ->
-         if t.running then begin
-           send_report t;
-           schedule_report t
-         end)
+       t.report_tick
       : Sim.Engine.event_id)
 
 let create engine ~params ~reverse ~metrics ~probe =
@@ -82,8 +79,15 @@ let create engine ~params ~reverse ~metrics ~probe =
       on_deliver = None;
       running = true;
       reports_sent = 0;
+      report_tick = ignore;
     }
   in
+  t.report_tick <-
+    (fun () ->
+      if t.running then begin
+        send_report t;
+        schedule_report t
+      end);
   schedule_report t;
   t
 

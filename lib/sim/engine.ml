@@ -1,55 +1,82 @@
-type event_id = (unit -> unit) Event_queue.id
+type event_id = Event_queue.id
 
-type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
+let never = Event_queue.never
 
-let create () = { clock = 0.; queue = Event_queue.create () }
+(* The clock lives in a one-element float array rather than a mutable
+   record field: flat float-array stores/loads stay unboxed on
+   non-flambda builds, and Event_queue reads/writes it directly
+   (add_after, pop_run) so the schedule/execute hot path never
+   materialises a boxed float.
 
-let now t = t.clock
+   Payloads are Obj.t so one queue carries both callback shapes without
+   a variant wrapper; bit 0 of the aux word tags the shape. The casts
+   are confined to [schedule*] and [dispatch]. *)
+
+type t = { clock : float array; queue : Obj.t Event_queue.t }
+
+let dispatch payload aux =
+  if aux land 1 = 0 then (Obj.obj payload : unit -> unit) ()
+  else (Obj.obj payload : int -> unit) (aux asr 1)
+
+let create () =
+  { clock = [| 0. |]; queue = Event_queue.create ~capacity:1024 ~dummy:(Obj.repr 0) () }
+
+let now t = Array.unsafe_get t.clock 0
 
 let schedule t ~delay f =
-  let delay = if delay < 0. then 0. else delay in
-  Event_queue.add t.queue ~time:(t.clock +. delay) f
+  if delay < 0. then
+    invalid_arg (Printf.sprintf "Engine.schedule: negative delay %g" delay);
+  Event_queue.add_after t.queue ~clock:t.clock ~delay ~aux:0 (Obj.repr f)
 
 let schedule_at t ~time f =
-  if time < t.clock then
+  let clk = Array.unsafe_get t.clock 0 in
+  if time < clk then
     invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
-         t.clock);
-  Event_queue.add t.queue ~time f
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time clk);
+  Event_queue.add_aux t.queue ~time ~aux:0 (Obj.repr f)
+
+let schedule_fn t ~delay ~fn ~arg =
+  if delay < 0. then
+    invalid_arg (Printf.sprintf "Engine.schedule: negative delay %g" delay);
+  Event_queue.add_after t.queue ~clock:t.clock ~delay ~aux:((arg lsl 1) lor 1)
+    (Obj.repr fn)
+
+let schedule_at_fn t ~time ~fn ~arg =
+  let clk = Array.unsafe_get t.clock 0 in
+  if time < clk then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time clk);
+  Event_queue.add_aux t.queue ~time ~aux:((arg lsl 1) lor 1) (Obj.repr fn)
 
 let cancel t id = Event_queue.cancel t.queue id
+
+let is_scheduled t id = Event_queue.is_pending t.queue id
 
 let pending t = Event_queue.length t.queue
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      f ();
-      true
+  match
+    Event_queue.pop_run t.queue ~clock:t.clock ~until:infinity ~max_events:1
+      ~k:dispatch
+  with
+  | Max_events -> true
+  | Drained -> false
+  | Deferred -> assert false (* no event time exceeds [infinity] *)
 
 let run ?until ?max_events t =
-  let executed = ref 0 in
-  let continue () =
-    match max_events with None -> true | Some m -> !executed < m
-  in
-  let rec loop () =
-    if not (continue ()) then ()
-    else
-      match Event_queue.peek_time t.queue with
-      | None -> ()
-      | Some time -> (
-          match until with
-          | Some u when time > u -> t.clock <- u
-          | _ ->
-              ignore (step t : bool);
-              incr executed;
-              loop ())
-  in
-  loop ();
-  match until with
-  | Some u when t.clock < u && Event_queue.is_empty t.queue -> t.clock <- u
-  | _ -> ()
+  let u = match until with None -> infinity | Some u -> u in
+  let m = match max_events with None -> max_int | Some m -> m in
+  match Event_queue.pop_run t.queue ~clock:t.clock ~until:u ~max_events:m
+          ~k:dispatch
+  with
+  | Deferred ->
+      (* only reachable with a finite [until] *)
+      Array.unsafe_set t.clock 0 u
+  | Drained | Max_events ->
+      if
+        until <> None
+        && Array.unsafe_get t.clock 0 < u
+        && Event_queue.is_empty t.queue
+      then Array.unsafe_set t.clock 0 u
 
 let run_until_quiet t = run t

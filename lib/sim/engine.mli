@@ -1,14 +1,28 @@
 (** Discrete-event simulation engine.
 
-    The engine owns a virtual clock and an event queue. Components
-    schedule closures at future instants; [run] pops events in timestamp
-    order (ties broken by scheduling order) and executes them, advancing
-    the clock. All times are in seconds of simulated time. *)
+    The engine owns a virtual clock and an event queue (an arena-backed
+    timer wheel, see {!Event_queue}). Components schedule callbacks at
+    future instants; [run] pops events in timestamp order (ties broken
+    by scheduling order) and executes them, advancing the clock. All
+    times are in seconds of simulated time.
+
+    Scheduling is allocation-free in steady state. [schedule] and
+    [schedule_at] take a [unit -> unit] closure; hot paths that would
+    otherwise close over fresh state per frame should pre-allocate one
+    [int -> unit] callback and pass the varying part through
+    {!schedule_fn}'s integer argument instead. *)
 
 type t
 
 type event_id
-(** Handle for cancelling a scheduled event. *)
+(** Handle for cancelling a scheduled event. Handles are
+    generation-tagged integers (no allocation): once the event fires or
+    is cancelled the handle goes stale, and [cancel]/[is_scheduled] on a
+    stale handle return [false] rather than touching a recycled slot. *)
+
+val never : event_id
+(** A handle naming no event ([cancel] returns [false]). The idle value
+    for "maybe armed" fields, avoiding an [option] per arm. *)
 
 val create : unit -> t
 (** Fresh engine with clock at [0.]. *)
@@ -17,16 +31,33 @@ val now : t -> float
 (** Current simulated time. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> event_id
-(** [schedule t ~delay f] runs [f ()] at [now t +. delay]. Negative delays
-    are clamped to [0.] (the event fires "now", after currently queued
-    same-time events). *)
+(** [schedule t ~delay f] runs [f ()] at [now t +. delay]. Raises
+    [Invalid_argument] on a negative delay — the same contract as
+    {!schedule_at} (historically negative delays were silently clamped
+    to [0.], which masked caller bugs). *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> event_id
 (** [schedule_at t ~time f] runs [f] at absolute [time]; raises
     [Invalid_argument] if [time] is in the simulated past. *)
 
+val schedule_fn : t -> delay:float -> fn:(int -> unit) -> arg:int -> event_id
+(** Like {!schedule}, but runs [fn arg] at expiry. [fn] can be
+    pre-allocated once per component and reused for every frame, with
+    the per-event state packed into [arg] — no closure is created per
+    call. [arg] must fit in 62 bits (it is tag-packed alongside the
+    callback). Raises [Invalid_argument] on a negative delay. *)
+
+val schedule_at_fn : t -> time:float -> fn:(int -> unit) -> arg:int -> event_id
+(** {!schedule_fn} at an absolute time; raises [Invalid_argument] if
+    [time] is in the simulated past. *)
+
 val cancel : t -> event_id -> bool
-(** Cancel a pending event. [false] if it already fired or was cancelled. *)
+(** Cancel a pending event. [false] if it already fired, was cancelled,
+    or the handle is stale/[never]. *)
+
+val is_scheduled : t -> event_id -> bool
+(** Whether the handle names an event that has neither fired nor been
+    cancelled. *)
 
 val pending : t -> int
 (** Number of scheduled, not-yet-fired events. *)

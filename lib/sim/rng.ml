@@ -82,7 +82,9 @@ let binomial t ~n ~p =
     !c
   end
   else begin
-    let q = Float.min p (1. -. p) in
+    (* branch, not [Float.min]: a non-inlined cross-module call would
+       box the argument and result floats on every draw *)
+    let q = if p <= 0.5 then p else 1. -. p in
     if float_of_int n *. q <= 30. then begin
       (* Direct CDF inversion on the rarer outcome. The normal
          approximation is catastrophically wrong in this regime: at

@@ -2,40 +2,50 @@ type t = {
   engine : Engine.t;
   mutable duration : float;
   on_expire : unit -> unit;
-  mutable armed : Engine.event_id option;
+  mutable armed : Engine.event_id;
   mutable expires_at : float;
+  mutable fire : unit -> unit;
+      (* allocated once at [create]; [start] re-arms it without closing
+         over anything per call *)
 }
 
 let create engine ~duration ~on_expire =
   assert (duration > 0.);
-  { engine; duration; on_expire; armed = None; expires_at = 0. }
+  let t =
+    {
+      engine;
+      duration;
+      on_expire;
+      armed = Engine.never;
+      expires_at = 0.;
+      fire = ignore;
+    }
+  in
+  t.fire <-
+    (fun () ->
+      t.armed <- Engine.never;
+      t.on_expire ());
+  t
 
 let stop t =
-  match t.armed with
-  | None -> ()
-  | Some id ->
-      ignore (Engine.cancel t.engine id : bool);
-      t.armed <- None
+  (* cancel on a stale or [never] handle is a cheap no-op *)
+  ignore (Engine.cancel t.engine t.armed : bool);
+  t.armed <- Engine.never
 
 let start t =
   stop t;
   t.expires_at <- Engine.now t.engine +. t.duration;
-  let id =
-    Engine.schedule t.engine ~delay:t.duration (fun () ->
-        t.armed <- None;
-        t.on_expire ())
-  in
-  t.armed <- Some id
+  t.armed <- Engine.schedule t.engine ~delay:t.duration t.fire
 
 let reset = start
 
-let is_running t = t.armed <> None
+let is_running t = Engine.is_scheduled t.engine t.armed
 
 let set_duration t d =
   assert (d > 0.);
   t.duration <- d
 
 let remaining t =
-  match t.armed with
-  | None -> None
-  | Some _ -> Some (Float.max 0. (t.expires_at -. Engine.now t.engine))
+  if Engine.is_scheduled t.engine t.armed then
+    Some (Float.max 0. (t.expires_at -. Engine.now t.engine))
+  else None

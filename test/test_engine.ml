@@ -18,13 +18,14 @@ let test_schedule_inside_event () =
   Sim.Engine.run e;
   Alcotest.(check (float 1e-9)) "nested schedule" 1.5 !fired
 
-let test_negative_delay_clamped () =
+let test_negative_delay_rejected () =
   let e = Sim.Engine.create () in
-  let fired = ref false in
-  ignore (Sim.Engine.schedule e ~delay:(-5.) (fun () -> fired := true));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay -5") (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:(-5.) (fun () -> ())));
+  ignore (Sim.Engine.schedule e ~delay:0. (fun () -> ()));
   Sim.Engine.run e;
-  Alcotest.(check bool) "fired" true !fired;
-  Alcotest.(check (float 1e-9)) "clock unmoved" 0. (Sim.Engine.now e)
+  Alcotest.(check (float 1e-9)) "zero delay fires now" 0. (Sim.Engine.now e)
 
 let test_schedule_at_past_rejected () =
   let e = Sim.Engine.create () in
@@ -183,7 +184,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_callbacks_fire_in_time_order;
     QCheck_alcotest.to_alcotest prop_cancelled_never_fire_rest_all_fire;
     Alcotest.test_case "nested schedule" `Quick test_schedule_inside_event;
-    Alcotest.test_case "negative delay clamps" `Quick test_negative_delay_clamped;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
     Alcotest.test_case "schedule_at past rejected" `Quick test_schedule_at_past_rejected;
     Alcotest.test_case "cancel" `Quick test_cancel;
     Alcotest.test_case "run until" `Quick test_run_until;

@@ -2,7 +2,7 @@
    cancellation. *)
 
 let test_pop_order () =
-  let q = Sim.Event_queue.create () in
+  let q = Sim.Event_queue.create ~dummy:"" () in
   ignore (Sim.Event_queue.add q ~time:3. "c");
   ignore (Sim.Event_queue.add q ~time:1. "a");
   ignore (Sim.Event_queue.add q ~time:2. "b");
@@ -18,7 +18,7 @@ let test_pop_order () =
 
 
 let test_tie_break_fifo () =
-  let q = Sim.Event_queue.create () in
+  let q = Sim.Event_queue.create ~dummy:(-1) () in
   for i = 0 to 9 do
     ignore (Sim.Event_queue.add q ~time:5. i)
   done;
@@ -29,7 +29,7 @@ let test_tie_break_fifo () =
   done
 
 let test_cancel () =
-  let q = Sim.Event_queue.create () in
+  let q = Sim.Event_queue.create ~dummy:"" () in
   let id1 = Sim.Event_queue.add q ~time:1. "a" in
   let _id2 = Sim.Event_queue.add q ~time:2. "b" in
   Alcotest.(check bool) "cancel pending" true (Sim.Event_queue.cancel q id1);
@@ -41,7 +41,7 @@ let test_cancel () =
     (Sim.Event_queue.cancel q id1)
 
 let test_length_tracks_live () =
-  let q = Sim.Event_queue.create () in
+  let q = Sim.Event_queue.create ~dummy:() () in
   let id = Sim.Event_queue.add q ~time:1. () in
   ignore (Sim.Event_queue.add q ~time:2. ());
   Alcotest.(check int) "two live" 2 (Sim.Event_queue.length q);
@@ -52,7 +52,7 @@ let test_length_tracks_live () =
   Alcotest.(check bool) "is_empty" true (Sim.Event_queue.is_empty q)
 
 let test_peek_time_skips_cancelled () =
-  let q = Sim.Event_queue.create () in
+  let q = Sim.Event_queue.create ~dummy:() () in
   let id = Sim.Event_queue.add q ~time:1. () in
   ignore (Sim.Event_queue.add q ~time:5. ());
   ignore (Sim.Event_queue.cancel q id : bool);
@@ -64,8 +64,8 @@ let prop_pop_sorted =
     ~count:200
     QCheck2.Gen.(list_size (int_range 0 200) (float_range 0. 1000.))
     (fun times ->
-      let q = Sim.Event_queue.create () in
-      List.iter (fun time -> ignore (Sim.Event_queue.add q ~time time)) times;
+      let q = Sim.Event_queue.create ~dummy:() () in
+      List.iter (fun time -> ignore (Sim.Event_queue.add q ~time ())) times;
       let rec drain last =
         match Sim.Event_queue.pop q with
         | None -> true
@@ -77,7 +77,7 @@ let prop_cancel_removes =
   QCheck2.Test.make ~name:"cancelled events never pop" ~count:200
     QCheck2.Gen.(list_size (int_range 1 100) (pair (float_range 0. 100.) bool))
     (fun entries ->
-      let q = Sim.Event_queue.create () in
+      let q = Sim.Event_queue.create ~dummy:0 () in
       let ids =
         List.map
           (fun (time, cancel) -> (Sim.Event_queue.add q ~time ~-1, cancel))
@@ -101,6 +101,146 @@ let prop_cancel_removes =
       in
       count 0 = expected)
 
+(* Vacated slots (popped, cancelled, or left behind by arena growth)
+   must not pin payloads: every slot is reset to the queue's dummy, so
+   once the caller drops its own reference the payload is collectable.
+   The old heap kept entries in slots beyond [size] (and in the old
+   array after growth) for the life of the queue — this test fails on
+   that implementation. *)
+let test_vacated_slots_release_payloads () =
+  let q = Sim.Event_queue.create ~capacity:16 ~dummy:"" () in
+  let n = 64 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    (* fresh heap-allocated payloads so Weak can track their liveness;
+       n > capacity forces arena growth along the way *)
+    let payload = String.make 16 (Char.chr (65 + (i mod 26))) in
+    Weak.set w i (Some payload);
+    let id = Sim.Event_queue.add q ~time:(float_of_int i) payload in
+    if i mod 3 = 0 then ignore (Sim.Event_queue.cancel q id : bool)
+  done;
+  let rec drain () =
+    match Sim.Event_queue.pop q with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Gc.full_major ();
+  let alive = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr alive
+  done;
+  Alcotest.(check int) "payloads retained after pop/cancel" 0 !alive
+
+let test_pop_run_clock_and_stops () =
+  let q = Sim.Event_queue.create ~dummy:0 () in
+  let clock = [| 0. |] in
+  ignore (Sim.Event_queue.add_after q ~clock ~delay:1. ~aux:7 1);
+  ignore (Sim.Event_queue.add_after q ~clock ~delay:2. ~aux:0 2);
+  ignore (Sim.Event_queue.add q ~time:3. 3);
+  let seen = ref [] in
+  let k v aux = seen := (v, aux, clock.(0)) :: !seen in
+  let stop = Sim.Event_queue.pop_run q ~clock ~until:2.5 ~max_events:10 ~k in
+  Alcotest.(check bool) "deferred past until" true
+    (stop = Sim.Event_queue.Deferred);
+  Alcotest.(check (list (triple int int (float 1e-9))))
+    "events, aux words and clock writes"
+    [ (1, 7, 1.); (2, 0, 2.) ]
+    (List.rev !seen);
+  seen := [];
+  let stop = Sim.Event_queue.pop_run q ~clock ~until:10. ~max_events:10 ~k in
+  Alcotest.(check bool) "drained" true (stop = Sim.Event_queue.Drained);
+  Alcotest.(check (list (triple int int (float 1e-9))))
+    "remaining event" [ (3, 0, 3.) ] (List.rev !seen)
+
+(* Model-based differential test: the arena/wheel/overflow queue against
+   a sorted association list over random add/cancel/pop/peek
+   interleavings. The reference pops in exact (time, insertion) order —
+   the same contract as the plain 4-ary heap this structure replaced —
+   so this also pins that the tie-break order is unchanged. Time
+   generation mixes sub-horizon values (wheel buckets), multi-second
+   values (overflow heap), and ~1e14 (tick saturation); a small arena
+   plus pops/cancels exercises growth and generation reuse of slots. *)
+let prop_matches_reference_model =
+  let time_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          float_range 0. 0.01;
+          float_range 0. 2.;
+          float_range 0. 1e6;
+          return 1.5e14;
+        ])
+  in
+  let op_gen =
+    QCheck2.Gen.(
+      frequency
+        [
+          (4, map (fun t -> `Add t) time_gen);
+          (2, map (fun i -> `Cancel i) (int_range 0 10_000));
+          (2, return `Pop);
+          (1, return `Peek);
+        ])
+  in
+  QCheck2.Test.make ~name:"event queue matches sorted-list reference model"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 200) op_gen)
+    (fun ops ->
+      let q = Sim.Event_queue.create ~capacity:16 ~dummy:(-1) () in
+      (* reference: (time, insertion seq, key) sorted by (time, seq) *)
+      let model = ref [] in
+      let insert entry =
+        let time, seq, _ = entry in
+        let rec go = function
+          | [] -> [ entry ]
+          | ((t, s, _) as hd) :: tl ->
+              if t < time || (t = time && s < seq) then hd :: go tl
+              else entry :: hd :: tl
+        in
+        model := go !model
+      in
+      let handles = ref [] in
+      let next_seq = ref 0 in
+      let next_key = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | `Add time ->
+                let key = !next_key in
+                incr next_key;
+                let id = Sim.Event_queue.add q ~time key in
+                insert (time, !next_seq, key);
+                incr next_seq;
+                handles := (key, id) :: !handles
+            | `Cancel i ->
+                let n = List.length !handles in
+                if n > 0 then begin
+                  let key, id = List.nth !handles (i mod n) in
+                  let in_model =
+                    List.exists (fun (_, _, k) -> k = key) !model
+                  in
+                  check (Sim.Event_queue.cancel q id = in_model);
+                  (* a second cancel of the same handle must refuse *)
+                  check (not (Sim.Event_queue.cancel q id));
+                  model := List.filter (fun (_, _, k) -> k <> key) !model
+                end
+            | `Pop -> (
+                match (Sim.Event_queue.pop q, !model) with
+                | None, [] -> ()
+                | Some (t, k), (mt, _, mk) :: rest ->
+                    check (t = mt && k = mk);
+                    model := rest
+                | _ -> check false)
+            | `Peek -> (
+                match (Sim.Event_queue.peek_time q, !model) with
+                | None, [] -> ()
+                | Some t, (mt, _, _) :: _ -> check (t = mt)
+                | _ -> check false))
+        ops;
+      check (Sim.Event_queue.length q = List.length !model);
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "pop order" `Quick test_pop_order;
@@ -108,6 +248,11 @@ let suite =
     Alcotest.test_case "cancel semantics" `Quick test_cancel;
     Alcotest.test_case "length tracks live" `Quick test_length_tracks_live;
     Alcotest.test_case "peek skips cancelled" `Quick test_peek_time_skips_cancelled;
+    Alcotest.test_case "vacated slots release payloads" `Quick
+      test_vacated_slots_release_payloads;
+    Alcotest.test_case "pop_run clock writes and stop reasons" `Quick
+      test_pop_run_clock_and_stops;
     QCheck_alcotest.to_alcotest prop_pop_sorted;
     QCheck_alcotest.to_alcotest prop_cancel_removes;
+    QCheck_alcotest.to_alcotest prop_matches_reference_model;
   ]
