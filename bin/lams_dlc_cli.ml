@@ -1223,6 +1223,285 @@ let corrupt_cmd =
   in
   Cmd.group (Cmd.info "corrupt" ~doc) [ corrupt_run_cmd; corrupt_soak_cmd ]
 
+(* --- feedback: Byzantine reverse-channel lies and the plausibility guard - *)
+
+let feedback_outcome_json (o : Experiments.E24_feedback.outcome) =
+  let module E = Experiments.E24_feedback in
+  json_obj
+    [
+      ("variant", Stats.Jsonstr.escape o.E.variant);
+      ("lie", Stats.Jsonstr.escape o.E.lie);
+      ("guard", string_of_bool o.E.guarded);
+      ("faults", string_of_int o.E.faults);
+      ("lies", string_of_int o.E.lies_told);
+      ("quarantines", string_of_int o.E.quarantines);
+      ("resyncs", string_of_int o.E.resyncs);
+      ("failure_declared", string_of_bool o.E.failure_declared);
+      ("resolved_episodes", string_of_int o.E.resolved);
+      ("time_to_resync_s", Stats.Jsonstr.float_repr o.E.time_to_resync);
+      ("unresolved", string_of_bool o.E.unresolved);
+      ("wrongful_releases", string_of_int o.E.wrongful);
+      ("oracle_violations", string_of_int o.E.violations);
+      ("delivered", string_of_int o.E.delivered);
+      ("completed", string_of_bool o.E.completed);
+      ( "goodput_floor_bps",
+        if Float.is_nan o.E.goodput_floor then "null"
+        else Stats.Jsonstr.float_repr o.E.goodput_floor );
+    ]
+
+(* Safety gate shared by `feedback run` and the CI smoke: a run fails
+   when data was wrongly released, or when it neither finished nor
+   declared failure. An unresolved episode ledger over a fully-delivered
+   stream is implicit convergence, not a failure. *)
+let feedback_violated (o : Experiments.E24_feedback.outcome) =
+  let module E = Experiments.E24_feedback in
+  o.E.wrongful > 0 || ((not o.E.completed) && not o.E.failure_declared)
+
+let print_feedback_outcome ~json (o : Experiments.E24_feedback.outcome) =
+  let module E = Experiments.E24_feedback in
+  if json then print_endline (feedback_outcome_json o)
+  else
+    Format.printf
+      "%s lie=%s guard=%s: %d fault(s) (%d lie(s)), %d quarantine(s), %d \
+       forced resync(s)%s, %d/%d episode(s) resolved (worst %.2f ms), %d \
+       wrongful release(s), delivered %d%s@."
+      o.E.variant o.E.lie
+      (if o.E.guarded then "on" else "off")
+      o.E.faults o.E.lies_told o.E.quarantines o.E.resyncs
+      (if o.E.failure_declared then ", FAILURE DECLARED" else "")
+      o.E.resolved
+      (o.E.resolved + if o.E.unresolved then 1 else 0)
+      (o.E.time_to_resync *. 1e3)
+      o.E.wrongful o.E.delivered
+      (if o.E.completed then "" else " (INCOMPLETE)");
+  feedback_violated o
+
+let feedback_run_cmd =
+  let doc =
+    "Run one session with a lying reverse channel and the feedback \
+     oracle attached: scripted forward I-frame drops provide NAK \
+     material, the chosen lie class tampers with the feedback, and \
+     (with the guard on) the $(b,Dlc.Guard) plausibility layer \
+     quarantines implausible checkpoints and escalates to forced \
+     resynchronisation. Exits non-zero on a wrongful release or an \
+     undeclared stall."
+  in
+  let variant =
+    let v =
+      Arg.enum [ ("lams", `Lams); ("sr-hdlc", `Sr_hdlc); ("nbdt", `Nbdt) ]
+    in
+    Arg.(value & pos 0 v `Lams
+         & info [] ~docv:"VARIANT"
+             ~doc:"Protocol variant: $(b,lams), $(b,sr-hdlc) or $(b,nbdt).")
+  in
+  let lie =
+    let doc =
+      Printf.sprintf "Lie class for the reverse channel. One of: %s."
+        (String.concat ", "
+           (List.map Experiments.E24_feedback.lie_tag
+              Experiments.E24_feedback.lies))
+    in
+    Arg.(value & opt (some string) None & info [ "lie" ] ~docv:"CLASS" ~doc)
+  in
+  let lie_script =
+    Arg.(value & opt (some string) None
+         & info [ "lie-script" ] ~docv:"FILE"
+             ~doc:"Fault script for the reverse channel (the \
+                   $(b,Channel.Fault) text format: drop, corrupt-*, \
+                   forge-ack, rewrite-cp-seq, inject-stale-cp, blackout, \
+                   adversary). Exclusive with --lie.")
+  in
+  let no_guard =
+    Arg.(value & flag
+         & info [ "no-guard" ]
+             ~doc:"Run the bare paper protocol without the plausibility \
+                   guard.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let frames =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "frames" ] ~docv:"N"
+             ~doc:"Frames to transfer (default: E24's canonical stream \
+                   length).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the run's JSONL event trace to $(docv) (plus \
+                   $(docv).metrics.json).")
+  in
+  let run variant lie lie_script no_guard seed frames json trace_file =
+    let module E = Experiments.E24_feedback in
+    let variant =
+      match variant with
+      | `Lams -> E.Lams
+      | `Sr_hdlc -> E.Sr_hdlc
+      | `Nbdt -> E.Nbdt_bulk
+    in
+    let lie_of_tag tag =
+      List.find_opt (fun l -> E.lie_tag l = tag) E.lies
+    in
+    let choice =
+      match (lie, lie_script) with
+      | Some _, Some _ -> `Error (false, "--lie and --lie-script are exclusive")
+      | None, Some path -> (
+          match Channel.Fault.load path with
+          | Ok spec -> `Script spec
+          | Error e ->
+              Format.eprintf "%s: %s@." path e;
+              exit 2)
+      | Some tag, None -> (
+          match lie_of_tag tag with
+          | Some l -> `Lie l
+          | None ->
+              `Error
+                ( false,
+                  Printf.sprintf "unknown lie class %S (one of: %s)" tag
+                    (String.concat ", " (List.map E.lie_tag E.lies)) ))
+      | None, None -> `Lie E.Forge
+    in
+    match choice with
+    | `Error _ as e -> e
+    | (`Lie _ | `Script _) as choice ->
+        let capture = Option.map file_capture trace_file in
+        let recorder = Option.map fst capture in
+        let finish () = match capture with Some (_, w) -> w () | None -> () in
+        let o =
+          match choice with
+          | `Lie l ->
+              E.run_one ?recorder ?frames ~guard_on:(not no_guard) ~seed
+                variant l
+          | `Script spec ->
+              E.run_scripted ?recorder ?frames ~guard_on:(not no_guard) ~seed
+                variant spec
+        in
+        finish ();
+        let violated = print_feedback_outcome ~json o in
+        if violated then exit 1;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ variant $ lie $ lie_script $ no_guard $ seed $ frames
+       $ json $ trace_file))
+
+let feedback_soak_cmd =
+  let doc =
+    "Seed-pinned lying-feedback soak: sweep random reverse-channel lie \
+     schedules (forged ACKs, checkpoint rewrites, stale replays, mixed \
+     with drops) over all three variants with the guard on, through the \
+     replicated matrix runner. Results are byte-identical for any \
+     $(b,--jobs) value. Exits non-zero when any schedule wrongly \
+     releases data or stalls without declaring failure."
+  in
+  let schedules =
+    Arg.(value & opt int 50
+         & info [ "schedules" ] ~docv:"N"
+             ~doc:"Random lie schedules to sweep.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker count (results identical for any value).")
+  in
+  let root_seed =
+    Arg.(value & opt int 1
+         & info [ "root-seed" ] ~docv:"SEED"
+             ~doc:"Root seed every schedule's task seed derives from.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the matrix report as JSON on stdout.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON to $(docv).")
+  in
+  let no_meta =
+    Arg.(value & flag
+         & info [ "no-meta" ]
+             ~doc:"Omit run metadata so two runs diff byte-for-byte.")
+  in
+  let run schedules jobs root_seed json out no_meta trace_dir =
+    set_trace_config trace_dir;
+    if schedules < 1 then begin
+      Format.eprintf "--schedules must be >= 1@.";
+      exit 2
+    end;
+    let jobs =
+      max 1
+        (match jobs with
+        | Some j -> j
+        | None -> Runner.Pool.default_jobs ())
+    in
+    let report =
+      Experiments.E24_feedback.soak ~jobs ~root_seed ~schedules ()
+    in
+    let report =
+      if no_meta then report
+      else
+        {
+          report with
+          Bench_report.Matrix_report.meta =
+            Some (Bench_report.Matrix_report.collect_meta ~jobs);
+        }
+    in
+    (match out with
+    | Some path ->
+        Bench_report.Matrix_report.write ~with_meta:(not no_meta) path report
+    | None -> ());
+    if json then
+      print_endline
+        (Bench_report.Json.to_string ~indent:2
+           (Bench_report.Matrix_report.to_json ~with_meta:(not no_meta) report))
+    else Experiments.Report.matrix Format.std_formatter report;
+    let metric p name =
+      match
+        List.assoc_opt name p.Bench_report.Matrix_report.metrics
+      with
+      | Some s -> s.Bench_report.Matrix_report.max
+      | None -> 0.
+    in
+    let violated =
+      List.concat_map
+        (fun e ->
+          List.filter_map
+            (fun p ->
+              if
+                metric p "wrongful_releases" > 0.
+                || (metric p "completed" = 0.
+                    && metric p "failure_declared" = 0.)
+              then Some p.Bench_report.Matrix_report.label
+              else None)
+            e.Bench_report.Matrix_report.points)
+        report.Bench_report.Matrix_report.experiments
+    in
+    if violated <> [] then begin
+      Format.eprintf "feedback-safety violations in %d schedule(s): %s@."
+        (List.length violated)
+        (String.concat ", " violated);
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ schedules $ jobs $ root_seed $ json $ out $ no_meta
+      $ trace_dir_arg)
+
+let feedback_cmd =
+  let doc =
+    "Byzantine feedback: reverse-channel lie injection and the \
+     checkpoint-plausibility guard."
+  in
+  Cmd.group (Cmd.info "feedback" ~doc) [ feedback_run_cmd; feedback_soak_cmd ]
+
 (* --- channel: trace generation, calibration and live capture ----------- *)
 
 let channel_gen_cmd =
@@ -1446,5 +1725,6 @@ let () =
             trace_cmd;
             handover_cmd;
             corrupt_cmd;
+            feedback_cmd;
             channel_cmd;
           ]))

@@ -15,7 +15,12 @@ type tap_event =
   | Tap_rx of rx
   | Tap_lost of Frame.Wire.t
 
-type fault_decision = Pass | Drop | Corrupt_payload | Corrupt_header
+type fault_decision =
+  | Pass
+  | Drop
+  | Corrupt_payload
+  | Corrupt_header
+  | Replace of Frame.Wire.t
 
 (* Inert frame written into vacated ring slots so the link never pins a
    delivered frame's payload. *)
@@ -176,6 +181,12 @@ let deliver t frame ~t_sent =
     let injected =
       match t.fault with None -> Pass | Some f -> f ~now frame
     in
+    (* A Replace decision substitutes the frame in flight: the forgery
+       arrives clean (that is the point of a semantic lie — it must look
+       valid), bypassing the stochastic error model for this frame. *)
+    let frame =
+      match injected with Replace forged -> forged | _ -> frame
+    in
     let fate =
       match injected with
       | Drop -> Error_model.Lost
@@ -184,6 +195,7 @@ let deliver t frame ~t_sent =
           if payload_bits = 0 then Error_model.Corrupt { header = true }
           else Error_model.Corrupt { header = false }
       | Corrupt_header -> Error_model.Corrupt { header = true }
+      | Replace _ -> Error_model.Clean
       | Pass ->
           let model = error_model t frame in
           Error_model.advance model t.rng ~bits:idle_bits;

@@ -86,6 +86,12 @@ type fault_decision =
           On all-header control frames this degrades to header corruption
           (any damage makes them undecodable). *)
   | Corrupt_header  (** unidentifiable arrival *)
+  | Replace of Frame.Wire.t
+      (** Byzantine substitution: the original frame vanishes and the
+          given forgery is delivered in its place with a {e clean}
+          status — the receiver cannot tell it from honest traffic.
+          Used by {!Fault} lie actions (forged ACKs, rewritten or
+          replayed checkpoints). *)
 
 val set_fault : t -> (now:float -> Frame.Wire.t -> fault_decision) -> unit
 (** Install a deterministic fault injector, consulted once per frame at

@@ -25,6 +25,8 @@ type event =
     }
   | State_corrupted of { klass : string; detail : string }
   | Converged of { after : float; anomalies : int }
+  | Cp_quarantined of { cp_seq : int; reason : string; distrust : int }
+  | Resync_forced of { attempt : int }
 
 let event_name = function
   | Offered _ -> "offered"
@@ -41,6 +43,8 @@ let event_name = function
   | Cp_emitted _ -> "cp-nak"
   | State_corrupted _ -> "state-corrupted"
   | Converged _ -> "converged"
+  | Cp_quarantined _ -> "cp-quarantined"
+  | Resync_forced _ -> "resync-forced"
 
 type t = { mutable handlers : (now:float -> event -> unit) list }
 

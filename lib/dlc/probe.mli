@@ -63,6 +63,19 @@ type event =
           invariants were re-established within the checkpoint bound,
           [after] seconds after the injection, having tolerated
           [anomalies] transient anomalies in between. *)
+  | Cp_quarantined of { cp_seq : int; reason : string; distrust : int }
+      (** the {!module:Guard} plausibility layer rejected a feedback
+          frame: [cp_seq] names the suspect checkpoint (or emission
+          ordinal for HDLC), [reason] the failed check, [distrust] the
+          escalation counter after this quarantine. The frame was
+          discarded — the sender's state machine never saw it. *)
+  | Resync_forced of { attempt : int }
+      (** the guard's distrust counter crossed its threshold and the
+          sender was ordered into an explicit resynchronisation
+          (Enforced-NAK recovery for LAMS, a forced retransmission
+          round for NBDT, a supervisory poll for HDLC); [attempt]
+          counts forced resyncs since the guard last trusted the
+          feedback stream. *)
 
 val event_name : event -> string
 

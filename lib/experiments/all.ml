@@ -145,6 +145,12 @@ let all =
       run = (fun ?quick ppf -> E23_trace_replay.run ?quick ppf);
       points = E23_trace_replay.points;
     };
+    {
+      id = "e24";
+      name = E24_feedback.name;
+      run = E24_feedback.run;
+      points = E24_feedback.points;
+    };
   ]
 
 let find id =

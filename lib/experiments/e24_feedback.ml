@@ -1,0 +1,482 @@
+let name = "E24 Byzantine feedback: lie classes x variants x guard"
+
+(* Same short, fast link as E22: the quantities under study are safety
+   (does a lying reverse channel ever cause a wrongful release?) and the
+   degradation envelope (how long until the guard forces the sender back
+   onto the truth?), not bandwidth-delay stress. Channels are noiseless;
+   every fault is scripted, so each row is a single deterministic
+   trajectory. *)
+let distance_m = 150_000.
+
+let data_rate_bps = 100e6
+
+let payload_bytes = 512
+
+let n_frames = 400
+
+let horizon = 0.5
+
+let rtt = 2. *. distance_m /. Channel.Link.speed_of_light
+
+(* Forward-path losses create the NAK material the lies then tamper
+   with: three scripted I-frame drops (a two-frame burst and a single). *)
+let forward_drops = [ 20; 21; 60 ]
+
+(* Reverse blackout window: total reverse silence for 10 ms — long
+   enough to trip every variant's silence recovery, short enough that
+   none exhausts its retry budget. *)
+let blackout_from = 5e-3
+
+let blackout_until = 15e-3
+
+type variant = Lams | Sr_hdlc | Nbdt_bulk
+
+let variant_tag = function
+  | Lams -> "lams"
+  | Sr_hdlc -> "sr-hdlc"
+  | Nbdt_bulk -> "nbdt"
+
+let variants = [ Lams; Sr_hdlc; Nbdt_bulk ]
+
+type lie = No_lie | Forge | Rewrite | Stale | Blackout
+
+let lie_tag = function
+  | No_lie -> "none"
+  | Forge -> "forge-ack"
+  | Rewrite -> "rewrite-cp-seq"
+  | Stale -> "inject-stale-cp"
+  | Blackout -> "blackout"
+
+let lies = [ No_lie; Forge; Rewrite; Stale; Blackout ]
+
+(* One quarantine is already proof of lying on a noiseless scripted
+   channel, so the guard escalates immediately; the paper-default retry
+   budget bounds the resync ladder. *)
+let guard_config =
+  { Dlc.Guard.default_config with Dlc.Guard.distrust_threshold = 1 }
+
+let lams_params ~guard_on =
+  {
+    Lams_dlc.Params.default with
+    Lams_dlc.Params.w_cp = 1e-3;
+    c_depth = 3;
+    guard = (if guard_on then Some guard_config else None);
+  }
+
+let hdlc_params ~guard_on =
+  {
+    Hdlc.Params.default with
+    Hdlc.Params.t_out = 1.5 *. rtt;
+    guard = (if guard_on then Some guard_config else None);
+  }
+
+let nbdt_params ~guard_on =
+  {
+    Nbdt.Params.default with
+    Nbdt.Params.report_interval = 1e-3;
+    resend_timeout = 5e-3;
+    guard = (if guard_on then Some guard_config else None);
+  }
+
+let lams_holding_bound params =
+  Lams_dlc.Params.resolving_period params ~rtt
+  +. params.Lams_dlc.Params.w_cp
+  +. (65536. /. data_rate_bps)
+  +. 1e-3
+
+let forward_spec =
+  Channel.Fault.Rules
+    (List.map
+       (fun n -> Channel.Fault.rule ~copies:1 (Channel.Fault.I_nth n) Channel.Fault.Drop)
+       forward_drops)
+
+(* The reverse-channel lie script for each class. Forge flips the first
+   NAK-carrying feedback frame positive; rewrite and stale-replay mangle
+   a mid-stream control frame; blackout silences the reverse link for a
+   fixed window. *)
+let reverse_spec = function
+  | No_lie -> None
+  | Forge ->
+      Some
+        (Channel.Fault.Rules
+           [ Channel.Fault.rule ~copies:1 Channel.Fault.Cp_nak Channel.Fault.Forge_ack ])
+  | Rewrite ->
+      Some
+        (Channel.Fault.Rules
+           [
+             Channel.Fault.rule ~copies:1 (Channel.Fault.Control_nth 6)
+               (Channel.Fault.Rewrite_cp_seq { delta = -3 });
+           ])
+  | Stale ->
+      Some
+        (Channel.Fault.Rules
+           [
+             Channel.Fault.rule ~copies:1 (Channel.Fault.Control_nth 10)
+               (Channel.Fault.Inject_stale_cp { back = 2 });
+           ])
+  | Blackout ->
+      Some
+        (Channel.Fault.Rules
+           [ Channel.Fault.blackout ~from:blackout_from ~until:blackout_until ])
+
+type outcome = {
+  variant : string;
+  lie : string;
+  guarded : bool;
+  faults : int;  (** reverse-channel fault hits *)
+  lies_told : int;  (** clean-looking forgeries among them *)
+  quarantines : int;
+  resyncs : int;
+  failure_declared : bool;
+  resolved : int;  (** disturbance episodes closed by a recovery *)
+  time_to_resync : float;  (** worst resolved episode, seconds *)
+  unresolved : bool;  (** an episode was still open at the end *)
+  wrongful : int;  (** oracle-detected wrongful releases *)
+  violations : int;  (** all base-oracle violations *)
+  delivered : int;
+  completed : bool;
+  goodput_floor : float;
+      (** min bucketed delivery rate inside the blackout window (bits/s);
+          nan for non-blackout rows *)
+}
+
+let max_or_zero = List.fold_left max 0.
+
+let fingerprint ~seed ~variant ~lie ~guarded =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            "e24";
+            string_of_int seed;
+            variant;
+            lie;
+            (if guarded then "guard" else "bare");
+          ]))
+
+(* Shared core: [forward] / [reverse] are the per-link fault specs,
+   [mark_at] opens a disturbance episode at a scripted instant (blackout
+   windows produce no per-frame hit until the next frame flies),
+   [floor_window] bounds the goodput-floor measurement. *)
+let run_core ?recorder ?(frames = n_frames) ~guard_on ~seed ~lie_name ~forward
+    ~reverse ~mark_at ~floor_window variant =
+  let tag = variant_tag variant in
+  let capture =
+    match (recorder, Trace.Config.get ()) with
+    | Some _, _ | None, None -> None
+    | None, Some _ ->
+        Trace.Capture.start ~proto:("e24-" ^ tag) ~seed
+          ~fingerprint:
+            (fingerprint ~seed ~variant:tag ~lie:lie_name ~guarded:guard_on)
+          ()
+  in
+  let recorder =
+    match capture with
+    | Some c -> Some (Trace.Capture.recorder c)
+    | None -> recorder
+  in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let duplex =
+    Channel.Duplex.create_static engine ~rng ~distance_m ~data_rate_bps
+      ~iframe_error:(Channel.Error_model.uniform ~ber:0. ())
+      ~cframe_error:(Channel.Error_model.uniform ~ber:0. ())
+  in
+  let session, probe, profile =
+    match variant with
+    | Lams ->
+        let params = lams_params ~guard_on in
+        let s = Lams_dlc.Session.create engine ~params ~duplex in
+        ( Lams_dlc.Session.as_dlc s,
+          Lams_dlc.Session.probe s,
+          Oracle.Lams
+            {
+              c_depth = params.Lams_dlc.Params.c_depth;
+              holding_bound = lams_holding_bound params;
+            } )
+    | Sr_hdlc ->
+        let params = hdlc_params ~guard_on in
+        let s = Hdlc.Session.create engine ~params ~duplex in
+        ( Hdlc.Session.as_dlc s,
+          Hdlc.Session.probe s,
+          Oracle.Hdlc
+            {
+              window = params.Hdlc.Params.window;
+              seq_bits = params.Hdlc.Params.seq_bits;
+            } )
+    | Nbdt_bulk ->
+        let params = nbdt_params ~guard_on in
+        let s = Nbdt.Session.create engine ~params ~duplex in
+        (Nbdt.Session.as_dlc s, Nbdt.Session.probe s, Oracle.Nbdt)
+  in
+  let oracle = Oracle.create ~name:("e24-" ^ tag) profile in
+  let feedback = Oracle.Feedback.create ~bucket:1e-3 oracle in
+  (* recorder first, oracle second, so a probe event and the violation it
+     triggers land in the flight ring in causal order *)
+  (match recorder with
+  | Some r -> Trace.Recorder.attach_probe r probe
+  | None -> ());
+  Oracle.attach oracle ~probe ~duplex;
+  Oracle.Feedback.observe feedback probe;
+  (match recorder with
+  | Some r -> Trace.Recorder.attach_oracle r oracle
+  | None -> ());
+  let forward_fault = Channel.Fault.compile forward in
+  Channel.Fault.install forward_fault duplex.Channel.Duplex.forward;
+  (match recorder with
+  | Some r ->
+      Trace.Recorder.attach_fault r ~link:"forward" forward_fault
+  | None -> ());
+  (match reverse with
+  | None -> ()
+  | Some spec ->
+      let fault = Channel.Fault.compile spec in
+      Channel.Fault.install fault duplex.Channel.Duplex.reverse;
+      Channel.Fault.set_observer fault (fun ~now action _frame ->
+          Oracle.Feedback.on_fault feedback ~now
+            ~lie:(Channel.Fault.is_lie action));
+      (match recorder with
+      | Some r -> Trace.Recorder.attach_fault r ~link:"reverse" fault
+      | None -> ()));
+  (match mark_at with
+  | None -> ()
+  | Some at ->
+      ignore
+        (Sim.Engine.schedule engine ~delay:at (fun () ->
+             Oracle.Feedback.mark_disturbance feedback
+               ~now:(Sim.Engine.now engine))
+          : Sim.Engine.event_id));
+  (* open-loop traffic at half the line rate, as in E22 *)
+  let line_fps =
+    data_rate_bps
+    /. float_of_int (8 * (payload_bytes + Frame.Wire.iframe_overhead_bytes))
+  in
+  let arrivals =
+    Workload.Arrivals.deterministic engine ~session ~rate:(0.5 *. line_fps)
+      ~count:frames
+      ~payload:(Workload.Arrivals.default_payload ~size:payload_bytes)
+  in
+  let metrics = session.Dlc.Session.metrics in
+  let finished () =
+    Workload.Arrivals.finished arrivals
+    && Dlc.Metrics.unique_delivered metrics >= frames
+  in
+  let rec watch () =
+    if finished () then session.Dlc.Session.stop ()
+    else if Sim.Engine.now engine < horizon then
+      ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id)
+  in
+  ignore (Sim.Engine.schedule engine ~delay:1e-3 watch : Sim.Engine.event_id);
+  Sim.Engine.run engine ~until:horizon;
+  session.Dlc.Session.stop ();
+  Sim.Engine.run engine ~until:(horizon +. 1.);
+  Oracle.finalize oracle;
+  let resync_times = Oracle.Feedback.resync_times feedback in
+  let outcome =
+    {
+      variant = tag;
+      lie = lie_name;
+      guarded = guard_on;
+      faults = Oracle.Feedback.faults_seen feedback;
+      lies_told = Oracle.Feedback.lies_seen feedback;
+      quarantines = Oracle.Feedback.quarantines feedback;
+      resyncs = Oracle.Feedback.resyncs feedback;
+      failure_declared = Oracle.Feedback.failure_declared feedback;
+      resolved = List.length resync_times;
+      time_to_resync = max_or_zero resync_times;
+      unresolved = Oracle.Feedback.unresolved feedback;
+      wrongful = Oracle.Feedback.wrongful_releases feedback;
+      violations = List.length (Oracle.violations oracle);
+      delivered = Dlc.Metrics.unique_delivered metrics;
+      completed = Dlc.Metrics.unique_delivered metrics >= frames;
+      goodput_floor =
+        (match floor_window with
+        | Some (lo, hi) -> Oracle.Feedback.goodput_floor feedback ~lo ~hi
+        | None -> nan);
+    }
+  in
+  (match capture with Some c -> Trace.Capture.finish c | None -> ());
+  outcome
+
+let run_one ?recorder ?frames ~guard_on ~seed variant lie =
+  run_core ?recorder ?frames ~guard_on ~seed ~lie_name:(lie_tag lie)
+    ~forward:forward_spec ~reverse:(reverse_spec lie)
+    ~mark_at:(if lie = Blackout then Some blackout_from else None)
+    ~floor_window:
+      (if lie = Blackout then Some (blackout_from +. 4e-3, blackout_until)
+       else None)
+    variant
+
+let run_scripted ?recorder ?frames ~guard_on ~seed variant spec =
+  run_core ?recorder ?frames ~guard_on ~seed ~lie_name:"script"
+    ~forward:forward_spec ~reverse:(Some spec) ~mark_at:None
+    ~floor_window:None variant
+
+(* --- matrix points ------------------------------------------------------- *)
+
+let outcome_metrics o =
+  let f = float_of_int in
+  let b v = if v then 1. else 0. in
+  [
+    ("faults", f o.faults);
+    ("lies", f o.lies_told);
+    ("quarantines", f o.quarantines);
+    ("resyncs", f o.resyncs);
+    ("resolved_episodes", f o.resolved);
+    ("time_to_resync", o.time_to_resync);
+    ("failure_declared", b o.failure_declared);
+    ("unresolved", b o.unresolved);
+    ("wrongful_releases", f o.wrongful);
+    ("oracle_violations", f o.violations);
+    ("delivered", f o.delivered);
+    ("completed", b o.completed);
+    ("goodput_floor", (if Float.is_nan o.goodput_floor then 0. else o.goodput_floor));
+  ]
+
+let points ~quick =
+  let vs = if quick then [ Lams ] else variants in
+  let ls = if quick then [ No_lie; Forge ] else lies in
+  List.concat_map
+    (fun v ->
+      List.concat_map
+        (fun l ->
+          List.map
+            (fun guard_on ->
+              {
+                Runner.label =
+                  Printf.sprintf "%s/%s/%s" (variant_tag v) (lie_tag l)
+                    (if guard_on then "guard" else "bare");
+                run =
+                  (fun ~seed -> outcome_metrics (run_one ~guard_on ~seed v l));
+              })
+            [ false; true ])
+        ls)
+    vs
+
+(* --- lie soak ------------------------------------------------------------ *)
+
+(* Seed-pinned adversarial lying: the reverse channel drops, corrupts
+   and forges at random (from a seed-derived schedule), the forward
+   channel loses the occasional I-frame to keep NAK traffic flowing, and
+   the guard stays on. Safety must hold for every schedule: zero
+   wrongful releases, and every disturbance either resolves or ends in a
+   declared failure. *)
+let soak_reverse_spec ~seed =
+  Channel.Fault.adversary
+    ~seed:(Sim.Rng.derive_seed ~root:seed [ "e24-soak-reverse" ])
+    ~p_control:0.01 ~p_lie:0.05
+    ~lies:
+      [
+        Channel.Fault.Forge_ack;
+        Channel.Fault.Rewrite_cp_seq { delta = -1 };
+        Channel.Fault.Inject_stale_cp { back = 1 };
+      ]
+    ()
+
+let soak_forward_spec ~seed =
+  Channel.Fault.adversary
+    ~seed:(Sim.Rng.derive_seed ~root:seed [ "e24-soak-forward" ])
+    ~p_iframe:0.02 ()
+
+let soak_variant i = List.nth variants (i mod List.length variants)
+
+let run_soak ~seed variant =
+  outcome_metrics
+    (run_core ~guard_on:true ~seed ~lie_name:"soak"
+       ~forward:(soak_forward_spec ~seed)
+       ~reverse:(Some (soak_reverse_spec ~seed))
+       ~mark_at:None ~floor_window:None variant)
+
+let soak_experiment ~schedules =
+  {
+    Runner.id = "e24-soak";
+    name = "lying-feedback soak";
+    points =
+      List.init schedules (fun i ->
+          let variant = soak_variant i in
+          {
+            Runner.label =
+              Printf.sprintf "schedule=%03d/%s" i (variant_tag variant);
+            run = (fun ~seed -> run_soak ~seed variant);
+          });
+  }
+
+let soak ?jobs ?root_seed ~schedules () =
+  Runner.run ?jobs ?root_seed ~replicates:1 [ soak_experiment ~schedules ]
+
+(* --- report -------------------------------------------------------------- *)
+
+let run ?(quick = false) ppf =
+  Report.section ppf ~id:"E24"
+    ~title:"Byzantine feedback: lie classes x variants x guard";
+  Format.fprintf ppf
+    "noiseless %.0f km / %.0f Mbit/s link, %d x %d B frames, scripted \
+     forward drops %s;@ reverse-channel lies per row; blackout window \
+     [%.0f, %.0f) ms; guard: distrust threshold %d, %d resync retries@."
+    (distance_m /. 1000.) (data_rate_bps /. 1e6) n_frames payload_bytes
+    (String.concat "," (List.map string_of_int forward_drops))
+    (blackout_from *. 1e3) (blackout_until *. 1e3)
+    guard_config.Dlc.Guard.distrust_threshold
+    guard_config.Dlc.Guard.resync_retries;
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "variant";
+          "lie";
+          "guard";
+          "lies";
+          "quar";
+          "resync";
+          "ttr (ms)";
+          "wrongful";
+          "delivered";
+          "outcome";
+        ]
+  in
+  let vs = if quick then [ Lams ] else variants in
+  let ls = if quick then [ No_lie; Forge; Blackout ] else lies in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun l ->
+          List.iter
+            (fun guard_on ->
+              let o = run_one ~guard_on ~seed:11 v l in
+              let outcome =
+                if o.failure_declared then "failure declared"
+                else if not o.completed then
+                  Printf.sprintf "STALLED (%d lost)" (n_frames - o.delivered)
+                else if o.unresolved then
+                  (* full delivery with no explicit resync closing the
+                     episode: the variant's own timeout machinery rode
+                     out the disturbance *)
+                  "converged (implicit)"
+                else "converged"
+              in
+              Stats.Table.add_row table
+                [
+                  o.variant;
+                  o.lie;
+                  (if o.guarded then "on" else "off");
+                  string_of_int o.lies_told;
+                  string_of_int o.quarantines;
+                  string_of_int o.resyncs;
+                  Printf.sprintf "%.2f" (o.time_to_resync *. 1e3);
+                  (if o.wrongful = 0 then "0"
+                   else Printf.sprintf "%d !!" o.wrongful);
+                  string_of_int o.delivered;
+                  outcome;
+                ])
+            [ false; true ])
+        ls)
+    vs;
+  Report.table ppf table;
+  Report.note ppf
+    "Expect: with the guard off, forge-ack causes oracle-detected wrongful\n\
+     releases (silent data loss) on the checkpointed variants; with the\n\
+     guard on, every lie class ends converged — quarantine, forced resync,\n\
+     bounded time-to-resync, or implicitly via the variant's own timeout\n\
+     machinery — or in an explicit failure declaration, and the wrongful\n\
+     column stays 0 everywhere. Lie-free rows must show zero quarantines:\n\
+     the guard never penalises honest feedback."

@@ -9,6 +9,7 @@ type t = {
   t_proc : float;
   send_buffer_capacity : int;
   max_retries : int;
+  guard : Dlc.Guard.config option;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     t_proc = 10e-6;
     send_buffer_capacity = 1_000_000;
     max_retries = 10;
+    guard = None;
   }
 
 let modulus t = 1 lsl t.seq_bits
@@ -40,7 +42,13 @@ let validate t =
     err "send_buffer_capacity must be >= 1 (got %d)" t.send_buffer_capacity
   else if t.max_retries < 1 then
     err "max_retries must be >= 1 (got %d)" t.max_retries
-  else Ok t
+  else
+    match t.guard with
+    | None -> Ok t
+    | Some g -> (
+        match Dlc.Guard.validate_config g with
+        | Ok _ -> Ok t
+        | Error msg -> err "guard: %s" msg)
 
 let mode_name = function Selective_repeat -> "SR" | Go_back_n -> "GBN"
 
@@ -48,4 +56,10 @@ let pp ppf t =
   Format.fprintf ppf "%s%s W=%d M=%d t_out=%gs t_proc=%gs sbuf=%d N2=%d"
     (mode_name t.mode)
     (if t.stutter then "+ST" else "")
-    t.window (modulus t) t.t_out t.t_proc t.send_buffer_capacity t.max_retries
+    t.window (modulus t) t.t_out t.t_proc t.send_buffer_capacity t.max_retries;
+  match t.guard with
+  | None -> ()
+  | Some g ->
+      Format.fprintf ppf " guard=[distrust %d resyncs %d jump %d hold %b]"
+        g.Dlc.Guard.distrust_threshold g.Dlc.Guard.resync_retries
+        g.Dlc.Guard.max_cp_jump g.Dlc.Guard.confirm_hold

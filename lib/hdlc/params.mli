@@ -28,6 +28,11 @@ type t = {
   max_retries : int;
       (** per-frame retransmission attempts before the link is declared
           failed (HDLC's N2) *)
+  guard : Dlc.Guard.config option;
+      (** when set, a {!Dlc.Guard} feedback-plausibility layer is
+          interposed between the reverse link and the sender, hardening
+          it against forged supervisory frames; [None] (the default)
+          trusts the reverse channel. *)
 }
 
 val default : t

@@ -34,6 +34,8 @@ type t = {
       (* cyclic cursor over unacknowledged frames for the stutter modes *)
   mutable failed : bool;
   mutable stopped : bool;
+  mutable resync_pending : bool;
+      (* a guard-forced poll awaits its Final response *)
   mutable on_failure : (unit -> unit) option;
 }
 
@@ -250,6 +252,12 @@ let on_rx t (rx : Channel.Link.rx) =
         | Frame.Hframe.Rr -> ack_below t h.Frame.Hframe.nr
         | Frame.Hframe.Srej -> on_srej t h.Frame.Hframe.nr
         | Frame.Hframe.Rej -> on_rej t h.Frame.Hframe.nr);
+        (* a Final response answers a guard-forced poll: the sender's
+           view has been refreshed from a solicited status *)
+        if h.Frame.Hframe.pf && t.resync_pending then begin
+          t.resync_pending <- false;
+          emit t Dlc.Probe.Recovery_completed
+        end;
         maybe_send t
     | Frame.Wire.Hdlc_control _, _ ->
         (* corrupted supervisory frame: detected and dropped; timeout
@@ -258,6 +266,33 @@ let on_rx t (rx : Channel.Link.rx) =
     | (Frame.Wire.Data _ | Frame.Wire.Control _), _ ->
         Log.warn (fun m -> m "unexpected frame type on HDLC reverse path")
   end
+
+let v_s t = t.v_s
+
+let v_a t = t.v_a
+
+let is_outstanding t seq = Hashtbl.mem t.inflight seq
+
+(* Guard escalation hook: resend the oldest unacknowledged frame with a
+   poll — the same exchange as timeout recovery, but without charging
+   the frame a retry (the frame did nothing wrong; the feedback did). *)
+let force_resync t =
+  if (not t.failed) && not t.stopped then
+    match Hashtbl.find_opt t.inflight t.v_a with
+    | None -> ()
+    | Some fl ->
+        if not t.resync_pending then begin
+          t.resync_pending <- true;
+          emit t Dlc.Probe.Recovery_started
+        end;
+        t.poll_outstanding <- false;
+        if probe_on t then
+          emit t (Dlc.Probe.Requeued { seq = t.v_a; payload = fl.payload });
+        Queue.add (t.v_a, true) t.retx;
+        ensure_timer_running t;
+        maybe_send t
+
+let force_failure t = declare_failure t
 
 let offer t payload =
   if t.failed || t.stopped then false
@@ -302,6 +337,7 @@ let create engine ~params ~forward ~metrics ~probe =
       stutter_next = 0;
       failed = false;
       stopped = false;
+      resync_pending = false;
       on_failure = None;
     }
   in

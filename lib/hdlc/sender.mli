@@ -42,6 +42,26 @@ val failed : t -> bool
 
 val set_on_failure : t -> (unit -> unit) -> unit
 
+val v_s : t -> int
+(** Send state variable V(S) — ground truth for {!Dlc.Guard}. *)
+
+val v_a : t -> int
+(** Acknowledgement state variable V(A) — ground truth for
+    {!Dlc.Guard}. *)
+
+val is_outstanding : t -> int -> bool
+(** The number is in flight and unacknowledged — ground truth for
+    {!Dlc.Guard}. *)
+
+val force_resync : t -> unit
+(** {!Dlc.Guard} escalation hook: resend the oldest unacknowledged
+    frame with a poll (the timeout-recovery exchange) without charging
+    it a retry; the Final response completes the recovery. No-op when
+    failed, stopped, or nothing is unacknowledged. *)
+
+val force_failure : t -> unit
+(** Declare link failure now — the terminal {!Dlc.Guard} escalation. *)
+
 val offer_time_of_seq : t -> int -> float option
 
 val stop : t -> unit

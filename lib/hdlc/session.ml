@@ -6,6 +6,7 @@ type t = {
   probe : Dlc.Probe.t;
   name : string;
   reverse : Channel.Link.t;
+  guard : Dlc.Guard.t option;
   mutable reverse_ring : Frame.Wire.t list;
       (* recent reverse-link supervisory frames, newest first, for
          stale-frame replay injection *)
@@ -38,6 +39,28 @@ let create ?probe engine ~params ~duplex =
     in
     if params.Params.stutter then base ^ "+st" else base
   in
+  let guard =
+    match params.Params.guard with
+    | None -> None
+    | Some cfg ->
+        Some
+          (Dlc.Guard.create cfg ~probe
+             ~hooks:
+               {
+                 Dlc.Guard.now = (fun () -> Sim.Engine.now engine);
+                 feedback =
+                   Dlc.Guard.Supervisory
+                     {
+                       modulus = Params.modulus params;
+                       v_s = (fun () -> Sender.v_s sender);
+                       v_a = (fun () -> Sender.v_a sender);
+                       is_outstanding = (fun s -> Sender.is_outstanding sender s);
+                     };
+                 force_resync = (fun () -> Sender.force_resync sender);
+                 declare_failure = (fun () -> Sender.force_failure sender);
+               }
+             ~deliver:(fun rx -> Sender.on_rx sender rx))
+  in
   let t =
     {
       engine;
@@ -47,6 +70,7 @@ let create ?probe engine ~params ~duplex =
       probe;
       name;
       reverse = duplex.Channel.Duplex.reverse;
+      guard;
       reverse_ring = [];
       user_deliver = None;
     }
@@ -64,7 +88,9 @@ let create ?probe engine ~params ~duplex =
   Channel.Link.set_receiver duplex.Channel.Duplex.forward (fun rx ->
       Receiver.on_rx receiver rx);
   Channel.Link.set_receiver duplex.Channel.Duplex.reverse (fun rx ->
-      Sender.on_rx sender rx);
+      match guard with
+      | Some g -> Dlc.Guard.on_rx g rx
+      | None -> Sender.on_rx sender rx);
   Receiver.set_on_deliver receiver (fun ~payload ~seq ->
       (match Sender.offer_time_of_seq sender seq with
       | Some t0 ->
@@ -81,6 +107,8 @@ let receiver t = t.receiver
 let metrics t = t.metrics
 
 let probe t = t.probe
+
+let guard t = t.guard
 
 let replay_reverse t ~copies ~back =
   if copies < 1 then None

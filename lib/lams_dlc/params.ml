@@ -12,6 +12,7 @@ type t = {
   request_nak_retries : int;
   link_lifetime_end : float option;
   coverage_margin : float;
+  guard : Dlc.Guard.config option;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     request_nak_retries = 3;
     link_lifetime_end = None;
     coverage_margin = 1e-6;
+    guard = None;
   }
 
 let validate t =
@@ -50,7 +52,13 @@ let validate t =
     err "request_nak_retries must be >= 0 (got %d)" t.request_nak_retries
   else if t.coverage_margin < 0. then
     err "coverage_margin must be >= 0 (got %g)" t.coverage_margin
-  else Ok t
+  else
+    match t.guard with
+    | None -> Ok t
+    | Some g -> (
+        match Dlc.Guard.validate_config g with
+        | Ok _ -> Ok t
+        | Error msg -> err "guard: %s" msg)
 
 let checkpoint_timeout t = float_of_int t.c_depth *. t.w_cp
 
@@ -78,4 +86,10 @@ let pp ppf t =
     t.recv_high_watermark
     (match t.recv_drain_rate with None -> "inf" | Some r -> Printf.sprintf "%g/s" r)
     t.rate_decrease_factor t.rate_increase_step t.min_rate_factor
-    t.request_nak_retries t.coverage_margin
+    t.request_nak_retries t.coverage_margin;
+  match t.guard with
+  | None -> ()
+  | Some g ->
+      Format.fprintf ppf " guard=[distrust %d resyncs %d jump %d hold %b]"
+        g.Dlc.Guard.distrust_threshold g.Dlc.Guard.resync_retries
+        g.Dlc.Guard.max_cp_jump g.Dlc.Guard.confirm_hold

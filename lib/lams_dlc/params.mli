@@ -46,6 +46,11 @@ type t = {
   coverage_margin : float;
       (** slack added to a frame's predicted arrival before a checkpoint
           is considered to cover it; absorbs processing jitter. *)
+  guard : Dlc.Guard.config option;
+      (** when set, a {!Dlc.Guard} feedback-plausibility layer is
+          interposed between the reverse link and the sender, hardening
+          it against lying checkpoints; [None] (the default) trusts the
+          reverse channel as the paper does. *)
 }
 
 val default : t

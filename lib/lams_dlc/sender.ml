@@ -360,6 +360,17 @@ let on_checkpoint t (cp : Frame.Cframe.checkpoint) =
   apply_stop_go t ~stop:cp.Frame.Cframe.stop_go;
   maybe_send t
 
+let next_seq t = t.next_seq
+
+let is_outstanding t seq = Hashtbl.mem t.outstanding seq
+
+(* Guard escalation hooks: a forced resync is exactly the enforced
+   recovery the checkpoint timer would start, and the guard's failure
+   declaration is the sender's own. *)
+let force_resync t = initiate_enforced_recovery t
+
+let force_failure t = declare_failure t
+
 let on_rx t (rx : Channel.Link.rx) =
   match (rx.Channel.Link.frame, rx.Channel.Link.status) with
   | Frame.Wire.Control (Frame.Cframe.Checkpoint cp), Channel.Link.Rx_ok ->

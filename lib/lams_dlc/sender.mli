@@ -66,6 +66,21 @@ val failed : t -> bool
 
 val set_on_failure : t -> (unit -> unit) -> unit
 
+val next_seq : t -> int
+(** Next unused wire number — the sender's exclusive send frontier.
+    Ground truth for the {!Dlc.Guard} plausibility checks. *)
+
+val is_outstanding : t -> int -> bool
+(** The sequence number is transmitted, unreleased and not yet written
+    off for retransmission. Ground truth for {!Dlc.Guard}. *)
+
+val force_resync : t -> unit
+(** Order an enforced recovery now (halt, Request-NAK, failure timer) —
+    the {!Dlc.Guard} escalation hook. No-op when failed or stopped. *)
+
+val force_failure : t -> unit
+(** Declare link failure now — the terminal {!Dlc.Guard} escalation. *)
+
 val offer_time_of_seq : t -> int -> float option
 (** Original offer instant of the payload travelling under [seq];
     retransmissions inherit the original time. Used by the session layer

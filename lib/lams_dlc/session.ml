@@ -5,6 +5,7 @@ type t = {
   metrics : Dlc.Metrics.t;
   probe : Dlc.Probe.t;
   reverse : Channel.Link.t;
+  guard : Dlc.Guard.t option;
   mutable reverse_ring : Frame.Wire.t list;
       (* recent reverse-link control frames, newest first, for
          stale-checkpoint replay injection *)
@@ -29,6 +30,26 @@ let create ?probe engine ~params ~duplex =
     Receiver.create engine ~params ~reverse:duplex.Channel.Duplex.reverse
       ~metrics ~probe
   in
+  let guard =
+    match params.Params.guard with
+    | None -> None
+    | Some cfg ->
+        Some
+          (Dlc.Guard.create cfg ~probe
+             ~hooks:
+               {
+                 Dlc.Guard.now = (fun () -> Sim.Engine.now engine);
+                 feedback =
+                   Dlc.Guard.Checkpointed
+                     {
+                       next_seq = (fun () -> Sender.next_seq sender);
+                       is_outstanding = (fun s -> Sender.is_outstanding sender s);
+                     };
+                 force_resync = (fun () -> Sender.force_resync sender);
+                 declare_failure = (fun () -> Sender.force_failure sender);
+               }
+             ~deliver:(fun rx -> Sender.on_rx sender rx))
+  in
   let t =
     {
       engine;
@@ -37,6 +58,7 @@ let create ?probe engine ~params ~duplex =
       metrics;
       probe;
       reverse = duplex.Channel.Duplex.reverse;
+      guard;
       reverse_ring = [];
       user_deliver = None;
     }
@@ -54,7 +76,9 @@ let create ?probe engine ~params ~duplex =
   Channel.Link.set_receiver duplex.Channel.Duplex.forward (fun rx ->
       Receiver.on_rx receiver rx);
   Channel.Link.set_receiver duplex.Channel.Duplex.reverse (fun rx ->
-      Sender.on_rx sender rx);
+      match guard with
+      | Some g -> Dlc.Guard.on_rx g rx
+      | None -> Sender.on_rx sender rx);
   Receiver.set_on_deliver receiver (fun ~payload ~seq ->
       (match Sender.offer_time_of_seq sender seq with
       | Some t0 ->
@@ -71,6 +95,8 @@ let receiver t = t.receiver
 let metrics t = t.metrics
 
 let probe t = t.probe
+
+let guard t = t.guard
 
 (* Replay a stale reverse-link control frame [back] positions old,
    [copies] times: a duplicating / non-FIFO reverse channel in the sense

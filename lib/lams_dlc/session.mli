@@ -19,6 +19,9 @@ val create :
 
 val probe : t -> Dlc.Probe.t
 
+val guard : t -> Dlc.Guard.t option
+(** The feedback-plausibility guard, when [params.guard] enabled one. *)
+
 val sender : t -> Sender.t
 
 val receiver : t -> Receiver.t

@@ -10,6 +10,7 @@ type t = {
   max_retries : int;
   max_report_misses : int;
   retx_cooldown : float;
+  guard : Dlc.Guard.config option;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     max_retries = 10;
     max_report_misses = 512;
     retx_cooldown = 30e-3;
+    guard = None;
   }
 
 let validate t =
@@ -40,7 +42,13 @@ let validate t =
     err "max_report_misses must be >= 1 (got %d)" t.max_report_misses
   else if t.retx_cooldown < 0. then
     err "retx_cooldown must be >= 0 (got %g)" t.retx_cooldown
-  else Ok t
+  else
+    match t.guard with
+    | None -> Ok t
+    | Some g -> (
+        match Dlc.Guard.validate_config g with
+        | Ok _ -> Ok t
+        | Error msg -> err "guard: %s" msg)
 
 let mode_name = function Multiphase -> "multiphase" | Continuous -> "continuous"
 
@@ -48,4 +56,10 @@ let pp ppf t =
   Format.fprintf ppf
     "nbdt %s report=%gs batch=%d t_resend=%gs t_proc=%gs sbuf=%d N2=%d misses<=%d"
     (mode_name t.mode) t.report_interval t.batch_size t.resend_timeout t.t_proc
-    t.send_buffer_capacity t.max_retries t.max_report_misses
+    t.send_buffer_capacity t.max_retries t.max_report_misses;
+  match t.guard with
+  | None -> ()
+  | Some g ->
+      Format.fprintf ppf " guard=[distrust %d resyncs %d jump %d hold %b]"
+        g.Dlc.Guard.distrust_threshold g.Dlc.Guard.resync_retries
+        g.Dlc.Guard.max_cp_jump g.Dlc.Guard.confirm_hold

@@ -40,6 +40,11 @@ type t = {
           it — a missing frame stays in every report until its
           retransmission has crossed the link, so without a cooldown each
           loss would be retransmitted once per report interval *)
+  guard : Dlc.Guard.config option;
+      (** when set, a {!Dlc.Guard} feedback-plausibility layer is
+          interposed between the reverse link and the sender, hardening
+          it against lying status reports; [None] (the default) trusts
+          the reverse channel. *)
 }
 
 val default : t

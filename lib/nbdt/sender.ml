@@ -30,6 +30,8 @@ type t = {
       (* which oldest-outstanding seq the armed watchdog is guarding *)
   mutable failed : bool;
   mutable stopped : bool;
+  mutable resync_pending : bool;
+      (* a guard-forced resync awaits its next accepted report *)
   mutable on_failure : (unit -> unit) option;
 }
 
@@ -239,6 +241,12 @@ let on_report t (report : Frame.Cframe.checkpoint) =
   List.iter (fun seq -> Queue.add seq t.order) (List.rev !kept);
   sample_buffer t;
   update_watchdog t;
+  (* a report that made it past the guard closes a forced resync: the
+     sender's view of the receiver has been refreshed from trusted state *)
+  if t.resync_pending then begin
+    t.resync_pending <- false;
+    emit t Dlc.Probe.Recovery_completed
+  end;
   (* multiphase: when the whole batch (and its retransmissions) has been
      acknowledged, open the next batch *)
   (match t.params.Params.mode with
@@ -266,6 +274,38 @@ let on_rx t (rx : Channel.Link.rx) =
     | (Frame.Wire.Data _ | Frame.Wire.Hdlc_control _), _ ->
         Log.warn (fun m -> m "unexpected frame on NBDT reverse path")
   end
+
+let next_seq t = t.next_seq
+
+let is_outstanding t seq = Hashtbl.mem t.inflight seq
+
+(* Guard escalation hook. NBDT has no solicited-resynchronisation
+   exchange; reports are periodic and each one carries the receiver's
+   complete status. A forced resync therefore (a) re-offers every
+   outstanding frame to the line — any release the lying feedback should
+   have caused but didn't is repaired by the receiver discarding
+   duplicates — and (b) arms [resync_pending] so the next report the
+   guard accepts closes the recovery. *)
+let force_resync t =
+  if (not t.failed) && not t.stopped then begin
+    if not t.resync_pending then begin
+      t.resync_pending <- true;
+      emit t Dlc.Probe.Recovery_started
+    end;
+    Queue.iter
+      (fun seq ->
+        match Hashtbl.find_opt t.inflight seq with
+        | Some fl when not fl.queued_retx ->
+            fl.queued_retx <- true;
+            if probe_on t then
+              emit t (Dlc.Probe.Requeued { seq; payload = fl.payload });
+            Queue.add seq t.retx
+        | _ -> ())
+      t.order;
+    maybe_send t
+  end
+
+let force_failure t = declare_failure t
 
 let offer t payload =
   if t.failed || t.stopped then false
@@ -310,6 +350,7 @@ let create engine ~params ~forward ~metrics ~probe =
       watchdog_target = None;
       failed = false;
       stopped = false;
+      resync_pending = false;
       on_failure = None;
     }
   in

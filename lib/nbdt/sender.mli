@@ -39,6 +39,21 @@ val failed : t -> bool
 
 val set_on_failure : t -> (unit -> unit) -> unit
 
+val next_seq : t -> int
+(** Next unused stable number — ground truth for {!Dlc.Guard}. *)
+
+val is_outstanding : t -> int -> bool
+(** The number is transmitted and unreleased — ground truth for
+    {!Dlc.Guard}. *)
+
+val force_resync : t -> unit
+(** {!Dlc.Guard} escalation hook: immediately retransmit every
+    outstanding frame and treat the next accepted report as completing
+    the recovery. No-op when failed or stopped. *)
+
+val force_failure : t -> unit
+(** Declare link failure now — the terminal {!Dlc.Guard} escalation. *)
+
 val offer_time_of_seq : t -> int -> float option
 
 val stop : t -> unit

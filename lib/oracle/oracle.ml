@@ -369,6 +369,10 @@ let on_probe_event t ~now ev =
             c.cps_since <- 0
           end)
   | Converged _ -> ()
+  | Cp_quarantined _ | Resync_forced _ ->
+      (* guard-layer feedback hygiene; accounted by {!Feedback}, neutral
+         for the per-session safety invariants *)
+      ()
 
 let observe t probe =
   t.probe <- Some probe;
@@ -845,4 +849,121 @@ module Transfer = struct
   let check ?retained s =
     finalize ?retained s;
     if not (ok s) then failwith (report s)
+end
+
+type oracle = t
+
+module Feedback = struct
+  (* Feedback-safety mode: under lying feedback the headline invariant —
+     no wrongly-released data, ever — is already enforced by the base
+     oracle ("released-undelivered" fires at release time, and
+     "release-before-ack" compares against checkpoint EMISSION, which is
+     upstream of the lie injection point and therefore never fooled).
+     This wrapper adds the degradation ledger: lie exposure, guard
+     reactions (quarantines, forced resyncs), time from the first
+     disturbance of an episode to the recovery that resolves it, and a
+     bucketed goodput series for blackout floors. *)
+
+  type t = {
+    oracle : oracle;
+    bucket : float;  (* goodput bucket width, seconds *)
+    mutable faults_seen : int;  (* any reverse-channel fault hit *)
+    mutable lies_seen : int;  (* clean-looking forgeries among them *)
+    mutable quarantines : int;
+    mutable resyncs : int;
+    mutable failure_declared : bool;
+    mutable episode_open : float option;  (* first disturbance, open *)
+    mutable resync_times : float list;  (* newest first *)
+    buckets : (int, int) Hashtbl.t;  (* bucket index -> payload bytes *)
+  }
+
+  let create ?(bucket = 10e-3) oracle =
+    if bucket <= 0. then invalid_arg "Oracle.Feedback.create: bucket <= 0";
+    {
+      oracle;
+      bucket;
+      faults_seen = 0;
+      lies_seen = 0;
+      quarantines = 0;
+      resyncs = 0;
+      failure_declared = false;
+      episode_open = None;
+      resync_times = [];
+      buckets = Hashtbl.create 256;
+    }
+
+  let mark_disturbance t ~now =
+    match t.episode_open with
+    | None -> t.episode_open <- Some now
+    | Some _ -> ()
+
+  let on_fault t ~now ~lie =
+    t.faults_seen <- t.faults_seen + 1;
+    if lie then t.lies_seen <- t.lies_seen + 1;
+    mark_disturbance t ~now
+
+  let observe t probe =
+    Dlc.Probe.subscribe probe (fun ~now ev ->
+        match (ev : Dlc.Probe.event) with
+        | Cp_quarantined _ ->
+            t.quarantines <- t.quarantines + 1;
+            mark_disturbance t ~now
+        | Resync_forced _ -> t.resyncs <- t.resyncs + 1
+        | Recovery_completed -> (
+            match t.episode_open with
+            | Some t0 ->
+                t.resync_times <- (now -. t0) :: t.resync_times;
+                t.episode_open <- None
+            | None -> ())
+        | Failure_declared ->
+            t.failure_declared <- true;
+            (* a declared failure resolves the episode explicitly: the
+               sender refuses further progress instead of resyncing *)
+            t.episode_open <- None
+        | Delivered { payload; _ } ->
+            let i = int_of_float (now /. t.bucket) in
+            let b =
+              match Hashtbl.find_opt t.buckets i with
+              | Some b -> b
+              | None -> 0
+            in
+            Hashtbl.replace t.buckets i (b + String.length payload)
+        | _ -> ())
+
+  let faults_seen t = t.faults_seen
+
+  let lies_seen t = t.lies_seen
+
+  let quarantines t = t.quarantines
+
+  let resyncs t = t.resyncs
+
+  let failure_declared t = t.failure_declared
+
+  let resync_times t = List.rev t.resync_times
+
+  let unresolved t = t.episode_open <> None
+
+  let wrongful_releases t =
+    List.length
+      (List.filter
+         (fun v ->
+           v.invariant = "released-undelivered"
+           || v.invariant = "release-before-ack")
+         (violations t.oracle))
+
+  let goodput_floor t ~lo ~hi =
+    let first = int_of_float (ceil (lo /. t.bucket)) in
+    let last = int_of_float (floor (hi /. t.bucket)) - 1 in
+    if last < first then nan
+    else begin
+      let worst = ref max_int in
+      for i = first to last do
+        let b =
+          match Hashtbl.find_opt t.buckets i with Some b -> b | None -> 0
+        in
+        if b < !worst then worst := b
+      done;
+      float_of_int (8 * !worst) /. t.bucket
+    end
 end

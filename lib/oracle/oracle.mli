@@ -224,3 +224,67 @@ module Transfer : sig
   val check : ?retained:string list -> t -> unit
   (** {!finalize} then raise [Failure] with {!report} unless {!ok}. *)
 end
+
+type oracle = t
+(** Alias so {!Feedback} can name the base oracle in its signature. *)
+
+(** Feedback-safety ledger for Byzantine-feedback experiments.
+
+    The headline invariant — {e no wrongly-released data, ever} — is
+    already enforced by the base oracle: ["released-undelivered"] fires
+    at release time, and ["release-before-ack"] compares against
+    checkpoint {e emission} (the reverse-link tap), which sits upstream
+    of the lie-injection point and therefore never ingests a forgery.
+    This wrapper aggregates the degradation story around that invariant:
+    how much lying the channel did, how the {!Dlc.Guard} layer reacted
+    (quarantines, forced resyncs, declared failure), how long each
+    disturbance episode took to resolve, and a bucketed goodput series
+    for blackout-floor measurements. *)
+module Feedback : sig
+  type t
+
+  val create : ?bucket:float -> oracle -> t
+  (** [bucket] is the goodput bucket width in seconds (default 10 ms). *)
+
+  val observe : t -> Dlc.Probe.t -> unit
+  (** Subscribe to the session probe: counts
+      {!Dlc.Probe.Cp_quarantined} / {!Dlc.Probe.Resync_forced}, closes
+      disturbance episodes on recovery completion or declared failure,
+      and buckets deliveries for {!goodput_floor}. *)
+
+  val on_fault : t -> now:float -> lie:bool -> unit
+  (** Report a reverse-channel fault hit; wire to
+      [Channel.Fault.set_observer] with
+      [lie = Channel.Fault.is_lie action]. Opens a disturbance episode
+      when none is open. *)
+
+  val mark_disturbance : t -> now:float -> unit
+  (** Open a disturbance episode explicitly (e.g. at the scripted start
+      of a blackout window, which produces no per-frame fault hit until
+      the next frame flies). *)
+
+  val faults_seen : t -> int
+
+  val lies_seen : t -> int
+
+  val quarantines : t -> int
+
+  val resyncs : t -> int
+
+  val failure_declared : t -> bool
+
+  val resync_times : t -> float list
+  (** Chronological: for each resolved episode, the time from its first
+      disturbance to the recovery completion that resolved it. *)
+
+  val unresolved : t -> bool
+  (** A disturbance episode was still open when the run ended. *)
+
+  val wrongful_releases : t -> int
+  (** Recorded base-oracle violations of the no-wrongful-release
+      invariant (["released-undelivered"] / ["release-before-ack"]). *)
+
+  val goodput_floor : t -> lo:float -> hi:float -> float
+  (** Minimum bucketed delivery rate (payload bits/s) over the buckets
+      entirely inside [\[lo, hi)]; [nan] when no whole bucket fits. *)
+end

@@ -45,6 +45,14 @@ let kind_fields = function
       [ ("class", Json.String klass); ("detail", Json.String detail) ]
   | Probe (Dlc.Probe.Converged { after; anomalies }) ->
       [ ("after", Json.Float after); ("anomalies", Json.Int anomalies) ]
+  | Probe (Dlc.Probe.Cp_quarantined { cp_seq; reason; distrust }) ->
+      [
+        ("cp_seq", Json.Int cp_seq);
+        ("reason", Json.String reason);
+        ("distrust", Json.Int distrust);
+      ]
+  | Probe (Dlc.Probe.Resync_forced { attempt }) ->
+      [ ("attempt", Json.Int attempt) ]
   | Fault { link; action; frame } ->
       [
         ("link", Json.String link);
@@ -149,6 +157,14 @@ let kind_of_json j = function
       let* after = float_field j "after" in
       let* anomalies = int_field j "anomalies" in
       Ok (Probe (Dlc.Probe.Converged { after; anomalies }))
+  | "cp-quarantined" ->
+      let* cp_seq = int_field j "cp_seq" in
+      let* reason = str_field j "reason" in
+      let* distrust = int_field j "distrust" in
+      Ok (Probe (Dlc.Probe.Cp_quarantined { cp_seq; reason; distrust }))
+  | "resync-forced" ->
+      let* attempt = int_field j "attempt" in
+      Ok (Probe (Dlc.Probe.Resync_forced { attempt }))
   | "fault" ->
       let* link = str_field j "link" in
       let* action = str_field j "action" in

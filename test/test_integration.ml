@@ -240,7 +240,7 @@ let test_frame_conservation () =
     (fwd.Channel.Link.frames_corrupted <= fwd.Channel.Link.frames_delivered)
 
 let test_experiment_registry () =
-  Alcotest.(check int) "twenty-three experiments" 23
+  Alcotest.(check int) "twenty-four experiments" 24
     (List.length Experiments.All.all);
   (match Experiments.All.find "E5" with
   | Some e -> Alcotest.(check string) "id" "e5" e.Experiments.All.id

@@ -36,4 +36,5 @@ let () =
       ("handover", Test_handover.suite);
       ("corrupt", Test_corrupt.suite);
       ("corrupt-soak", Test_corrupt_soak.suite);
+      ("feedback", Test_feedback.suite);
     ]

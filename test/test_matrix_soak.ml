@@ -61,8 +61,7 @@ let test_ablation_soak () =
     }
   in
   let adversary ~seed =
-    Channel.Fault.Adversary
-      { seed; p_iframe = 0.05; p_control = 0.05; window = None }
+    Channel.Fault.adversary ~seed ~p_iframe:0.05 ~p_control:0.05 ()
   in
   let points =
     List.map

@@ -150,14 +150,10 @@ let test_seeded_adversary () =
   (* reproducible chaos: i.i.d. drops on both frame classes from a fixed
      seed; whatever falls, nothing may be lost or mis-released *)
   let faults =
-    Channel.Fault.(
-      compile
-        (Adversary { seed = 42; p_iframe = 0.15; p_control = 0.; window = None }))
+    Channel.Fault.(compile (adversary ~seed:42 ~p_iframe:0.15 ()))
   in
   let reverse_faults =
-    Channel.Fault.(
-      compile
-        (Adversary { seed = 43; p_iframe = 0.; p_control = 0.05; window = None }))
+    Channel.Fault.(compile (adversary ~seed:43 ~p_control:0.05 ()))
   in
   let t, _session =
     Proto_harness.lams ~params:fast ~faults ~reverse_faults ()
@@ -300,11 +296,17 @@ let selector_to_string (s : Channel.Fault.selector) =
   | Control_nth n -> Printf.sprintf "Control_nth %d" n
   | Any_iframe -> "Any_iframe"
   | Any_control -> "Any_control"
+  | Any_frame -> "Any_frame"
 
 let action_to_string = function
   | Channel.Fault.Drop -> "Drop"
   | Channel.Fault.Corrupt_payload -> "Corrupt_payload"
   | Channel.Fault.Corrupt_header -> "Corrupt_header"
+  | Channel.Fault.Forge_ack -> "Forge_ack"
+  | Channel.Fault.Rewrite_cp_seq { delta } ->
+      Printf.sprintf "Rewrite_cp_seq %+d" delta
+  | Channel.Fault.Inject_stale_cp { back } ->
+      Printf.sprintf "Inject_stale_cp back=%d" back
 
 let script_to_string script =
   String.concat "; "
